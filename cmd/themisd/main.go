@@ -1,0 +1,64 @@
+// Command themisd runs a live ThemisIO burst-buffer server.
+//
+// Usage:
+//
+//	themisd -listen 127.0.0.1:7000 -policy size-fair
+//	themisd -listen 127.0.0.1:7001 -policy size-fair -peers 127.0.0.1:7000
+//
+// The sharing policy is the single administrator-facing parameter the
+// paper describes; any primitive or composite policy string parses
+// (fifo, job-fair, user-fair, size-fair, priority-fair,
+// user-then-size-fair, group-then-user-then-size-fair, ...).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"themisio/internal/policy"
+	"themisio/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "listen address")
+	polStr := flag.String("policy", "size-fair", "sharing policy")
+	workers := flag.Int("workers", 4, "worker pool size")
+	capacity := flag.Int64("capacity", 256<<20, "storage device bytes")
+	peers := flag.String("peers", "", "comma-separated peer server addresses for λ-sync")
+	flag.Parse()
+
+	pol, err := policy.Parse(*polStr)
+	if err != nil {
+		log.Fatalf("themisd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("themisd: %v", err)
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	srv := server.New(ln, server.Config{
+		Policy:   pol,
+		Workers:  *workers,
+		Capacity: *capacity,
+		Peers:    peerList,
+	})
+	log.Printf("themisd: serving on %s, policy %s, %d workers", srv.Addr(), pol, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("themisd: shutting down (%d requests served)", srv.Served())
+		srv.Close()
+		os.Exit(0)
+	}()
+	srv.Serve()
+}

@@ -1,0 +1,29 @@
+// Package themisio is a Go reproduction of "Fine-grained Policy-driven
+// I/O Sharing for Burst Buffers" (SC 2023): ThemisIO, a policy-driven
+// I/O sharing framework for remote-shared burst buffers built on a
+// statistical token design.
+//
+// The package re-exports the library's main entry points; the
+// implementation lives under internal/:
+//
+//   - internal/core     — the statistical token scheduler (the paper's
+//     primary contribution)
+//   - internal/policy   — primitive and composite sharing policies and
+//     their compilation to token assignments (Equation 1)
+//   - internal/token    — transition matrices, chain products, segment
+//     sampling
+//   - internal/jobtable — job status tables and the λ-interval all-gather
+//   - internal/sched    — the scheduler interface plus FIFO, GIFT and TBF
+//     baselines
+//   - internal/bb       — the discrete-event burst-buffer simulator that
+//     regenerates every figure of the paper's evaluation
+//   - internal/fsys, internal/storage, internal/chash — the user-space
+//     file system substrate
+//   - internal/server, internal/client, internal/transport — the live
+//     (socket) server and POSIX-style client
+//   - internal/experiments — one runner per paper table/figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// paper-to-repo substitution table, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package themisio

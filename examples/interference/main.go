@@ -1,0 +1,54 @@
+// Interference: the Figure 13 story for one application. A 64-node NAMD
+// trace runs three ways on a two-server burst buffer: exclusive access,
+// against a background I/O benchmark under FIFO, and against the same
+// background job under size-fair.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"themisio/internal/apptrace"
+	"themisio/internal/bb"
+	"themisio/internal/core"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/workload"
+)
+
+func run(name string, mk func(int, float64) sched.Scheduler, withBG bool) time.Duration {
+	c := bb.NewCluster(bb.Config{Servers: 2, NewSched: mk})
+	h := apptrace.Run(c, apptrace.NAMD, policy.JobInfo{
+		JobID: "namd", UserID: "science", GroupID: "bio", Nodes: apptrace.NAMD.Nodes,
+	})
+	if withBG {
+		c.AddJob(bb.JobSpec{
+			Job:   policy.JobInfo{JobID: "background", UserID: "noisy", GroupID: "other", Nodes: 1},
+			Procs: 56,
+			MakeStream: func(int) workload.Stream {
+				return workload.WriteReadCycle(10*workload.MB, workload.MB)
+			},
+		})
+	}
+	c.Run(10 * time.Minute)
+	tts := h.TTS()
+	fmt.Printf("%-28s %6.1f s\n", name, tts.Seconds())
+	return tts
+}
+
+func main() {
+	fmt.Println("NAMD (64 nodes) vs a 1-node background I/O benchmark, 2 servers")
+	fmt.Println()
+	themis := func(i int, _ float64) sched.Scheduler { return core.New(policy.SizeFair, int64(i)+13) }
+	fifo := func(int, float64) sched.Scheduler { return sched.NewFIFO() }
+
+	base := run("baseline (exclusive)", themis, false)
+	ff := run("FIFO + background", fifo, true)
+	fair := run("size-fair + background", themis, true)
+
+	fmt.Println()
+	fmt.Printf("FIFO slowdown      : %+.1f%%\n", (float64(ff)/float64(base)-1)*100)
+	fmt.Printf("size-fair slowdown : %+.1f%%\n", (float64(fair)/float64(base)-1)*100)
+	fmt.Printf("max possible under size-fair (1 bg node vs %d app nodes): %.1f%%\n",
+		apptrace.NAMD.Nodes, 100.0/float64(apptrace.NAMD.Nodes+1))
+}

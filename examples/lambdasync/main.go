@@ -1,0 +1,60 @@
+// λ-delayed global fairness: the Figure 5/14 scenario. Two servers start
+// with inconsistent local job views (job1 is striped across both; jobs 2
+// and 3 each live on one server). Watch job1's share of the aggregate
+// converge from the locally-fair 67% to the globally-fair 50% after the
+// first job-table all-gather.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/core"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/workload"
+)
+
+func main() {
+	const lambda = 500 * time.Millisecond
+	c := bb.NewCluster(bb.Config{
+		Servers: 2,
+		NewSched: func(i int, _ float64) sched.Scheduler {
+			return core.New(policy.SizeFair, int64(i)+7)
+		},
+		Lambda:    lambda,
+		Bin:       lambda,
+		SyncDelay: 30 * time.Millisecond,
+	})
+	mk := func(int) workload.Stream {
+		return workload.WriteReadCycle(10*workload.MB, workload.MB)
+	}
+	job := func(id, user string, nodes int) policy.JobInfo {
+		return policy.JobInfo{JobID: id, UserID: user, GroupID: "g", Nodes: nodes}
+	}
+	c.AddJob(bb.JobSpec{Job: job("job1", "u1", 16), Procs: 64, MakeStream: mk, Targets: []int{0, 1}})
+	c.AddJob(bb.JobSpec{Job: job("job2", "u2", 8), Procs: 32, MakeStream: mk, Targets: []int{0}})
+	c.AddJob(bb.JobSpec{Job: job("job3", "u3", 8), Procs: 32, MakeStream: mk, Targets: []int{1}})
+
+	horizon := 4 * time.Second
+	c.Run(horizon)
+
+	fmt.Printf("size-fair over 2 servers; sizes 16:8:8 -> fair shares 50%%:25%%:25%%\n")
+	fmt.Printf("job1 stripes on both servers; jobs 2, 3 on disjoint servers\n")
+	fmt.Printf("λ = %v (plus 30 ms control-plane latency)\n\n", lambda)
+	fmt.Printf("%-10s %8s %8s %8s\n", "interval", "job1", "job2", "job3")
+	r1 := c.Meter().Rates("job1", 0, horizon)
+	r2 := c.Meter().Rates("job2", 0, horizon)
+	r3 := c.Meter().Rates("job3", 0, horizon)
+	for i := range r1 {
+		tot := r1[i] + r2[i] + r3[i]
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("%-10d %7.1f%% %7.1f%% %7.1f%%\n",
+			i+1, r1[i]/tot*100, r2[i]/tot*100, r3[i]/tot*100)
+	}
+	fmt.Println("\ninterval 1 is locally fair (job1 ≈ 67%); global fairness lands")
+	fmt.Println("by interval 2 — a globally unfair state never outlives λ.")
+}

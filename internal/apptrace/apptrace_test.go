@@ -1,0 +1,112 @@
+package apptrace
+
+import (
+	"testing"
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/core"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+)
+
+func cluster(pol policy.Policy) *bb.Cluster {
+	return bb.NewCluster(bb.Config{
+		Servers: 2,
+		NewSched: func(i int, _ float64) sched.Scheduler {
+			return core.New(pol, int64(i)+5)
+		},
+	})
+}
+
+func jobFor(app App) policy.JobInfo {
+	return policy.JobInfo{JobID: app.Name, UserID: "sci", GroupID: "g", Nodes: app.Nodes}
+}
+
+func TestSyncTraceBaselineDuration(t *testing.T) {
+	// A tiny synchronous app: 3 phases of 1 s compute + ~0.5 s I/O.
+	app := App{
+		Name: "tiny", Nodes: 4, Phases: 3,
+		Compute: time.Second, IOBytes: 200 << 20, Block: 1 << 20,
+		IOProcs: 56, Depth: 1, Op: sched.OpWrite,
+	}
+	c := cluster(policy.SizeFair)
+	h := Run(c, app, jobFor(app))
+	c.Run(time.Minute)
+	tts := h.TTS()
+	// Expected: 3 × (1 s compute + 56×200 MB / (2×10.9 GB/s write path)
+	// ≈ 0.55 s I/O) ≈ 4.6 s.
+	if tts < 4300*time.Millisecond || tts > 5000*time.Millisecond {
+		t.Fatalf("baseline TTS = %v, want ~4.6s", tts)
+	}
+}
+
+func TestTTSPanicsIfUnfinished(t *testing.T) {
+	app := NAMD
+	c := cluster(policy.SizeFair)
+	h := Run(c, app, jobFor(app))
+	c.Run(time.Second) // far too short
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TTS on unfinished app should panic")
+		}
+	}()
+	h.TTS()
+}
+
+// The async pipeline hides I/O when readers keep up: TTS ≈ steps×compute.
+func TestAsyncPipelineHidesIO(t *testing.T) {
+	app := App{
+		Name: "async", Nodes: 8, Phases: 20,
+		Compute: 100 * time.Millisecond, IOBytes: 800 << 20, Block: 1 << 20,
+		IOProcs: 16, Depth: 1, Op: sched.OpRead,
+		Async: true, Prefetch: 2,
+	}
+	c := cluster(policy.SizeFair)
+	h := Run(c, app, jobFor(app))
+	c.Run(time.Minute)
+	tts := h.TTS()
+	want := time.Duration(app.Phases) * app.Compute
+	if tts > want+want/4 {
+		t.Fatalf("async TTS = %v, want ≈ %v (I/O hidden)", tts, want)
+	}
+}
+
+// When per-step I/O exceeds compute, the pipeline becomes I/O-bound and
+// TTS tracks the read time instead.
+func TestAsyncPipelineIOBound(t *testing.T) {
+	app := App{
+		Name: "asyncio", Nodes: 8, Phases: 10,
+		Compute: 10 * time.Millisecond, IOBytes: 2 << 30, Block: 1 << 20,
+		IOProcs: 16, Depth: 1, Op: sched.OpRead,
+		Async: true, Prefetch: 2,
+	}
+	c := cluster(policy.SizeFair)
+	h := Run(c, app, jobFor(app))
+	c.Run(time.Minute)
+	tts := h.TTS()
+	computeOnly := time.Duration(app.Phases) * app.Compute
+	if tts < 5*computeOnly {
+		t.Fatalf("I/O-bound async TTS = %v, should far exceed compute-only %v", tts, computeOnly)
+	}
+}
+
+// The suite definition matches the paper's Figure 13 ordering and node
+// counts (§5.1 configurations).
+func TestSuiteConfiguration(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d apps", len(suite))
+	}
+	wantNodes := map[string]int{
+		"NAMD": 64, "WRF": 4, "BERT": 4, "SPECFEM3D": 16, "ResNet-50": 16,
+	}
+	for _, app := range suite {
+		if wantNodes[app.Name] != app.Nodes {
+			t.Fatalf("%s nodes = %d, want %d", app.Name, app.Nodes, wantNodes[app.Name])
+		}
+	}
+	if !ResNet50.Async || ResNet50Sync.Async {
+		t.Fatal("ResNet async/sync flags wrong")
+	}
+}

@@ -1,0 +1,342 @@
+package bb
+
+import (
+	"fmt"
+	"time"
+
+	"themisio/internal/jobtable"
+	"themisio/internal/sched"
+	"themisio/internal/sim"
+)
+
+// Config describes a simulated burst-buffer deployment.
+type Config struct {
+	// Servers is the number of burst-buffer nodes.
+	Servers int
+	// NewSched builds the scheduler for server i with the given combined
+	// device bandwidth (capacity-aware schedulers — GIFT, TBF — need it).
+	NewSched func(i int, capacity float64) sched.Scheduler
+
+	// Bandwidths; zero selects the Frontera-calibrated defaults.
+	DirBW     float64
+	DeviceBW  float64
+	OpsPerSec float64
+
+	// Tick is the fluid-service quantum; Lambda the job-table all-gather
+	// interval (§3.1); Bin the metering bin width.
+	Tick   time.Duration
+	Lambda time.Duration
+	Bin    time.Duration
+
+	// ScaleAlpha is the interconnect-congestion coefficient for
+	// multi-server runs; zero selects the calibrated default. Set negative
+	// to disable scaling losses.
+	ScaleAlpha float64
+
+	// SyncDelay models the control-plane cost of the λ all-gather (server
+	// processing + interconnect, §5.6): snapshots taken at the λ boundary
+	// take effect SyncDelay later. Zero applies syncs instantly.
+	SyncDelay time.Duration
+
+	// HeartbeatTimeout is the job-table inactivity window.
+	HeartbeatTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.DirBW <= 0 {
+		c.DirBW = DefaultDirBW
+	}
+	if c.DeviceBW <= 0 {
+		c.DeviceBW = DefaultDeviceBW
+	}
+	if c.OpsPerSec <= 0 {
+		c.OpsPerSec = DefaultOpsPerSec
+	}
+	if c.Tick <= 0 {
+		c.Tick = DefaultTick
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = DefaultLambda
+	}
+	if c.Bin <= 0 {
+		c.Bin = DefaultBin
+	}
+	if c.ScaleAlpha == 0 {
+		c.ScaleAlpha = DefaultScaleAlpha
+	}
+}
+
+// Cluster is a simulated remote-shared burst buffer: servers with
+// schedulers and job tables, client processes submitting closed-loop
+// request streams, and a meter observing completions. Single-threaded
+// over a virtual clock; completely deterministic for a fixed seed.
+type Cluster struct {
+	cfg     Config
+	eng     *sim.Engine
+	servers []*server
+	meter   *Meter
+	eff     float64
+}
+
+// NewCluster builds a cluster. NewSched is required.
+func NewCluster(cfg Config) *Cluster {
+	cfg.fill()
+	if cfg.NewSched == nil {
+		panic("bb: Config.NewSched is required")
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		eng:   sim.New(),
+		meter: NewMeter(cfg.Bin),
+	}
+	alpha := cfg.ScaleAlpha
+	if alpha < 0 {
+		alpha = 0
+		c.eff = 1
+	} else {
+		c.eff = Efficiency(cfg.Servers, alpha)
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		id := fmt.Sprintf("bb%d", i)
+		c.servers = append(c.servers, &server{
+			c:     c,
+			idx:   i,
+			id:    id,
+			sch:   cfg.NewSched(i, cfg.DeviceBW*c.eff),
+			table: jobtable.New(id, cfg.HeartbeatTimeout),
+		})
+	}
+	// Service tick loop.
+	var tick func()
+	tick = func() {
+		now := c.eng.Now()
+		for _, s := range c.servers {
+			s.serve(now, cfg.Tick)
+		}
+		c.eng.At(now+cfg.Tick, tick)
+	}
+	c.eng.At(0, tick)
+	// λ-delayed global fairness: all-gather the job status tables.
+	c.eng.Every(cfg.Lambda, func() {
+		c.SyncTables()
+	})
+	return c
+}
+
+// Engine exposes the discrete-event engine (for app traces and tests).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.eng.Now() }
+
+// Meter returns the throughput meter.
+func (c *Cluster) Meter() *Meter { return c.meter }
+
+// Servers returns the number of servers.
+func (c *Cluster) Servers() int { return len(c.servers) }
+
+// Scheduler returns server i's scheduler (for inspection).
+func (c *Cluster) Scheduler(i int) sched.Scheduler { return c.servers[i].sch }
+
+// Table returns server i's job status table.
+func (c *Cluster) Table(i int) *jobtable.Table { return c.servers[i].table }
+
+// Efficiency returns the applied multi-server scaling efficiency.
+func (c *Cluster) Efficiency() float64 { return c.eff }
+
+// SyncTables performs one job-table all-gather (the λ loop calls this on
+// schedule; tests may call it directly). With SyncDelay configured, peer
+// snapshots are captured now but merged and applied SyncDelay later.
+func (c *Cluster) SyncTables() {
+	now := c.eng.Now()
+	apply := func() {
+		at := c.eng.Now()
+		if len(c.servers) > 1 {
+			tables := make([]*jobtable.Table, len(c.servers))
+			for i, s := range c.servers {
+				tables[i] = s.table
+			}
+			jobtable.AllGather(tables, at)
+		}
+		for _, s := range c.servers {
+			s.dirty = true
+		}
+	}
+	if c.cfg.SyncDelay > 0 {
+		// Capture peer snapshots at the boundary; merge after the
+		// control-plane delay.
+		snaps := make([][]jobtable.Entry, len(c.servers))
+		for i, s := range c.servers {
+			snaps[i] = s.table.Snapshot()
+		}
+		c.eng.After(c.cfg.SyncDelay, func() {
+			at := c.eng.Now()
+			for i, s := range c.servers {
+				for j, snap := range snaps {
+					if i == j {
+						continue
+					}
+					s.table.Merge(snap, at)
+				}
+				s.dirty = true
+			}
+		})
+		_ = now
+		return
+	}
+	apply()
+}
+
+// Submit enqueues a request on server i at the current virtual time. Most
+// callers use AddProc; app traces with custom control loops use Submit
+// directly.
+func (c *Cluster) Submit(i int, r *sched.Request) {
+	c.servers[i].submit(c.eng.Now(), r)
+}
+
+// Run advances the simulation to the given virtual time.
+func (c *Cluster) Run(until time.Duration) {
+	c.eng.RunUntil(until)
+}
+
+// server models one burst-buffer node: a scheduler fed by the
+// communicator (submit) and drained by a fluid-service loop standing in
+// for the worker pool. Per tick, the server moves up to DeviceBW·dt bytes
+// total, DirBW·dt per direction, and OpsPerSec·dt requests — the §5.2
+// hardware envelope.
+type server struct {
+	c     *Cluster
+	idx   int
+	id    string
+	sch   sched.Scheduler
+	table *jobtable.Table
+	dirty bool
+
+	// parked holds requests whose service straddles tick boundaries
+	// (budget for their direction ran out); they are served ahead of the
+	// scheduler next tick, preserving their position.
+	parked []parkedReq
+}
+
+type parkedReq struct {
+	r     *sched.Request
+	rem   float64
+	start time.Duration
+}
+
+func (s *server) submit(now time.Duration, r *sched.Request) {
+	if r.Arrive == 0 {
+		r.Arrive = now
+	}
+	if s.table.Observe(r.Job, now) {
+		s.dirty = true
+	}
+	s.sch.Push(r)
+}
+
+// parkCap bounds how many requests a server may park per tick. One park
+// per direction is the common case (a request caught mid-service when its
+// direction's budget runs out); the cap keeps a pathological pop sequence
+// from draining the scheduler queue into the park list.
+const parkCap = 64
+
+func (s *server) serve(now time.Duration, dt time.Duration) {
+	if s.dirty {
+		s.sch.SetJobs(s.table.Active(now))
+		s.dirty = false
+	}
+	sec := dt.Seconds()
+	devB := s.c.cfg.DeviceBW * s.c.eff * sec
+	readB := s.c.cfg.DirBW * s.c.eff * sec
+	writeB := s.c.cfg.DirBW * s.c.eff * sec
+	ops := s.c.cfg.OpsPerSec * s.c.eff * sec
+	end := now + dt
+
+	// attempt services as much of p as budgets allow; returns the leftover
+	// (rem > 0) if the request must stay parked. Metadata operations hit
+	// in-memory structures, not the data device: they are bounded by the
+	// IOPS envelope alone and never charge byte budgets.
+	attempt := func(p parkedReq) (parkedReq, bool) {
+		if !p.r.Op.IsData() {
+			s.complete(p.r, p.start, end)
+			return p, true
+		}
+		avail := devB
+		switch p.r.Op {
+		case sched.OpRead:
+			if readB < avail {
+				avail = readB
+			}
+		case sched.OpWrite:
+			if writeB < avail {
+				avail = writeB
+			}
+		}
+		if avail < 1 {
+			return p, false
+		}
+		take := p.rem
+		if take > avail {
+			take = avail
+		}
+		devB -= take
+		switch p.r.Op {
+		case sched.OpRead:
+			readB -= take
+		case sched.OpWrite:
+			writeB -= take
+		}
+		p.rem -= take
+		if p.rem >= 1 {
+			return p, false
+		}
+		s.complete(p.r, p.start, end)
+		return p, true
+	}
+
+	// Serve carried-over requests first, preserving order.
+	var still []parkedReq
+	for _, p := range s.parked {
+		if left, done := attempt(p); !done {
+			still = append(still, left)
+		}
+	}
+	// Then drain the scheduler while budget remains. The allow filter
+	// keeps policy schedulers from handing out requests for a direction
+	// whose budget is exhausted — the real server's workers would not
+	// start those transfers, so the scheduling priority must be spent on
+	// requests that can actually run. FIFO ignores the filter (strict
+	// order), so its popped requests may still park — head-of-line
+	// blocking, faithfully reproduced.
+	allow := func(op sched.Op) bool {
+		switch op {
+		case sched.OpRead:
+			return devB >= 1 && readB >= 1
+		case sched.OpWrite:
+			return devB >= 1 && writeB >= 1
+		}
+		return true // metadata rides the IOPS envelope only
+	}
+	for ops >= 1 && len(still) < parkCap {
+		r := s.sch.Pop(now, allow)
+		if r == nil {
+			break // empty, all heads disallowed, or throttled (GIFT/TBF)
+		}
+		ops--
+		if left, done := attempt(parkedReq{r: r, rem: float64(r.Cost()), start: now}); !done {
+			still = append(still, left)
+		}
+	}
+	s.parked = still
+}
+
+func (s *server) complete(r *sched.Request, start, end time.Duration) {
+	s.c.meter.Record(r.Job.JobID, r.Op, r.Bytes, start, end)
+	if r.Done != nil {
+		done := r.Done
+		s.c.eng.At(end, func() { done(end) })
+	}
+}

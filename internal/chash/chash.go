@@ -1,0 +1,149 @@
+// Package chash implements the consistent hash ring ThemisIO's user-space
+// file system uses to spread files and metadata across servers (§4.3):
+// "files and metadata are spread across ThemisIO servers using a
+// consistent hash function".
+package chash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the number of virtual nodes per server; enough to
+// keep the per-server load imbalance within a few percent for the server
+// counts in the paper (1–128).
+const DefaultReplicas = 128
+
+// Ring is a consistent hash ring over string node names. It is safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	keys     []uint64 // sorted virtual-node hashes
+	owner    map[uint64]string
+	nodes    map[string]bool
+}
+
+// New returns a ring with the given number of virtual nodes per server.
+// replicas <= 0 selects DefaultReplicas.
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		nodes:    make(map[string]bool),
+	}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node into the ring. Adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		k := hash64(fmt.Sprintf("%s#%d", node, i))
+		// On the vanishingly-rare collision, keep the first owner; the
+		// node still has replicas-1 other points.
+		if _, exists := r.owner[k]; exists {
+			continue
+		}
+		r.owner[k] = node
+		r.keys = append(r.keys, k)
+	}
+	sort.Slice(r.keys, func(i, j int) bool { return r.keys[i] < r.keys[j] })
+}
+
+// Remove deletes a node and its virtual points from the ring.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.keys[:0]
+	for _, k := range r.keys {
+		if r.owner[k] == node {
+			delete(r.owner, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.keys = kept
+}
+
+// Nodes returns the current node set, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Lookup returns the node owning key. ok is false if the ring is empty.
+func (r *Ring) Lookup(key string) (node string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.keys) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	if i == len(r.keys) {
+		i = 0
+	}
+	return r.owner[r.keys[i]], true
+}
+
+// LookupN returns up to n distinct nodes for the key, walking the ring
+// clockwise — used to pick the stripe set of a striped file.
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.keys) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for len(out) < n {
+		if i >= len(r.keys) {
+			i = 0
+		}
+		node := r.owner[r.keys[i]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+		i++
+	}
+	return out
+}

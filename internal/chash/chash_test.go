@@ -1,0 +1,139 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupEmpty(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Lookup("x"); ok {
+		t.Fatal("lookup on empty ring should fail")
+	}
+	if got := r.LookupN("x", 3); got != nil {
+		t.Fatalf("LookupN on empty ring = %v", got)
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	a, _ := r.Lookup("some/file/path")
+	for i := 0; i < 100; i++ {
+		b, _ := r.Lookup("some/file/path")
+		if a != b {
+			t.Fatal("lookup not deterministic")
+		}
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := New(16)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after removes", r.Len())
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	r := New(256)
+	const nodes = 8
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		n, _ := r.Lookup(fmt.Sprintf("/fs/data/file-%d", i))
+		counts[n]++
+	}
+	want := keys / nodes
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %s owns %d keys, want within [%d, %d]", n, c, want/2, want*2)
+		}
+	}
+}
+
+func TestRemovalOnlyMovesOwnedKeys(t *testing.T) {
+	r := New(128)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	before := map[string]string{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k], _ = r.Lookup(k)
+	}
+	r.Remove("node2")
+	moved := 0
+	for k, owner := range before {
+		now, _ := r.Lookup(k)
+		if owner == "node2" {
+			if now == "node2" {
+				t.Fatal("removed node still owns a key")
+			}
+		} else if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed node moved — consistent hashing violated", moved)
+	}
+}
+
+func TestLookupN(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 6; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	got := r.LookupN("stripe/file", 3)
+	if len(got) != 3 {
+		t.Fatalf("LookupN returned %d nodes", len(got))
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatal("duplicate node in stripe set")
+		}
+		seen[n] = true
+	}
+	// Requesting more than exist clips to ring size.
+	if got := r.LookupN("x", 100); len(got) != 6 {
+		t.Fatalf("clipped LookupN = %d", len(got))
+	}
+	// First node of LookupN matches Lookup.
+	one, _ := r.Lookup("stripe/file")
+	if got[0] != one {
+		t.Fatal("LookupN[0] disagrees with Lookup")
+	}
+}
+
+// Property: lookups never return an absent node and are stable under
+// re-adding an unrelated node.
+func TestLookupMembershipProperty(t *testing.T) {
+	r := New(32)
+	members := map[string]bool{}
+	for i := 0; i < 7; i++ {
+		n := fmt.Sprintf("srv%d", i)
+		r.Add(n)
+		members[n] = true
+	}
+	f := func(key string) bool {
+		n, ok := r.Lookup(key)
+		return ok && members[n]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

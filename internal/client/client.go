@@ -1,0 +1,396 @@
+// Package client is the ThemisIO client library: the POSIX-compliant
+// interface of §4.4 (open/close/read/write/lseek/stat/opendir/readdir/
+// unlink) over the wire protocol, with job metadata embedded in every
+// request and periodic heartbeats to every server (§4.1). On a real
+// deployment these entry points are reached by intercepting the libc
+// symbols (override/trampoline, §4.4); here they are called directly —
+// the arbitration problem is identical either way.
+//
+// With multiple servers the client places each path on a server via the
+// same consistent hash the servers' file system uses.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"themisio/internal/chash"
+	"themisio/internal/policy"
+	"themisio/internal/transport"
+)
+
+// Client is one application process's connection to the burst buffer.
+type Client struct {
+	job  policy.JobInfo
+	ring *chash.Ring
+
+	mu    sync.Mutex
+	conns map[string]*serverConn
+	fds   map[int]*fileHandle
+	next  int
+	seq   atomic.Uint64
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+type fileHandle struct {
+	path string
+	off  int64
+}
+
+// serverConn multiplexes concurrent requests over one connection.
+type serverConn struct {
+	conn *transport.Conn
+	mu   sync.Mutex
+	wait map[uint64]chan *transport.Response
+	err  error
+}
+
+func dialServer(addr string) (*serverConn, error) {
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sc := &serverConn{
+		conn: transport.NewConn(raw),
+		wait: map[uint64]chan *transport.Response{},
+	}
+	go sc.reader()
+	return sc, nil
+}
+
+func (sc *serverConn) reader() {
+	for {
+		resp, err := sc.conn.RecvResponse()
+		if err != nil {
+			sc.mu.Lock()
+			sc.err = err
+			for _, ch := range sc.wait {
+				close(ch)
+			}
+			sc.wait = map[uint64]chan *transport.Response{}
+			sc.mu.Unlock()
+			return
+		}
+		sc.mu.Lock()
+		ch, ok := sc.wait[resp.Seq]
+		delete(sc.wait, resp.Seq)
+		sc.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) {
+	ch := make(chan *transport.Response, 1)
+	sc.mu.Lock()
+	if sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		return nil, err
+	}
+	sc.wait[req.Seq] = ch
+	sc.mu.Unlock()
+	if err := sc.conn.SendRequest(req); err != nil {
+		sc.mu.Lock()
+		delete(sc.wait, req.Seq)
+		sc.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("client: connection lost")
+	}
+	return resp, nil
+}
+
+// Dial connects to the given servers under the job identity. The client
+// begins heartbeating immediately so the servers' job monitors see the
+// job before its first I/O.
+func Dial(job policy.JobInfo, servers []string) (*Client, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("client: no servers")
+	}
+	c := &Client{
+		job:    job,
+		ring:   chash.New(0),
+		conns:  map[string]*serverConn{},
+		fds:    map[int]*fileHandle{},
+		next:   3, // fds 0-2 are taken, as in POSIX
+		hbStop: make(chan struct{}),
+		hbDone: make(chan struct{}),
+	}
+	for _, addr := range servers {
+		sc, err := dialServer(addr)
+		if err != nil {
+			c.closeConns()
+			return nil, err
+		}
+		c.conns[addr] = sc
+		c.ring.Add(addr)
+	}
+	c.heartbeatAll()
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+func (c *Client) closeConns() {
+	for _, sc := range c.conns {
+		sc.conn.Close()
+	}
+}
+
+// Close notifies servers and tears down connections (§4.2: "when a
+// client exits, it notifies the ThemisIO servers to destroy the
+// corresponding mapping entry").
+func (c *Client) Close() {
+	close(c.hbStop)
+	<-c.hbDone
+	for _, sc := range c.conns {
+		_ = sc.conn.SendRequest(&transport.Request{Type: transport.MsgBye, Job: c.job})
+		sc.conn.Close()
+	}
+}
+
+func (c *Client) heartbeatLoop() {
+	defer close(c.hbDone)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-tick.C:
+			c.heartbeatAll()
+		}
+	}
+}
+
+func (c *Client) heartbeatAll() {
+	for _, sc := range c.conns {
+		_ = sc.conn.SendRequest(&transport.Request{
+			Type: transport.MsgHeartbeat,
+			Seq:  c.seq.Add(1),
+			Job:  c.job,
+		})
+	}
+}
+
+// serverFor routes a path to its owning server.
+func (c *Client) serverFor(path string) *serverConn {
+	addr, _ := c.ring.Lookup(path)
+	return c.conns[addr]
+}
+
+func (c *Client) call(path string, req *transport.Request) (*transport.Response, error) {
+	req.Seq = c.seq.Add(1)
+	req.Job = c.job
+	req.Path = path
+	resp, err := c.serverFor(path).call(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, resp.Error()
+	}
+	return resp, nil
+}
+
+// Open opens an existing file (create=false) or creates it, returning a
+// file descriptor.
+func (c *Client) Open(path string, create bool) (int, error) {
+	typ := transport.MsgOpen
+	if create {
+		typ = transport.MsgCreate
+	}
+	if _, err := c.call(path, &transport.Request{Type: typ}); err != nil {
+		return -1, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fd := c.next
+	c.next++
+	c.fds[fd] = &fileHandle{path: path}
+	return fd, nil
+}
+
+func (c *Client) handle(fd int) (*fileHandle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("client: bad file descriptor %d", fd)
+	}
+	return h, nil
+}
+
+// Write appends len(p) bytes at the handle's offset (the server store is
+// append-structured; sequential writes are the burst-buffer pattern).
+func (c *Client) Write(fd int, p []byte) (int, error) {
+	h, err := c.handle(fd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.call(h.path, &transport.Request{Type: transport.MsgWrite, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	h.off += resp.N
+	return int(resp.N), nil
+}
+
+// Read reads up to len(p) bytes from the handle's offset.
+func (c *Client) Read(fd int, p []byte) (int, error) {
+	h, err := c.handle(fd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.call(h.path, &transport.Request{
+		Type: transport.MsgRead, Offset: h.off, Size: int64(len(p)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	copy(p, resp.Data)
+	h.off += resp.N
+	return int(resp.N), nil
+}
+
+// Lseek repositions the handle. Whence follows POSIX: 0=set, 1=cur,
+// 2=end.
+func (c *Client) Lseek(fd int, offset int64, whence int) (int64, error) {
+	h, err := c.handle(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case 0:
+		h.off = offset
+	case 1:
+		h.off += offset
+	case 2:
+		size, _, err := c.Stat(h.path)
+		if err != nil {
+			return 0, err
+		}
+		h.off = size + offset
+	default:
+		return 0, fmt.Errorf("client: bad whence %d", whence)
+	}
+	if h.off < 0 {
+		h.off = 0
+	}
+	return h.off, nil
+}
+
+// CloseFd releases a file descriptor.
+func (c *Client) CloseFd(fd int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.fds[fd]; !ok {
+		return fmt.Errorf("client: bad file descriptor %d", fd)
+	}
+	delete(c.fds, fd)
+	return nil
+}
+
+// Stat returns size and directory flag.
+func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
+	resp, err := c.call(path, &transport.Request{Type: transport.MsgStat})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Size, resp.IsDir, nil
+}
+
+// broadcast sends the request to every server and collects responses.
+// Directory metadata is replicated on all servers so that any server can
+// validate parents locally, matching §4.3's "directories and files are
+// stored as files" with directory content spread across servers.
+func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transport.Response, error) {
+	var out []*transport.Response
+	for _, sc := range c.conns {
+		req := mk()
+		req.Seq = c.seq.Add(1)
+		req.Job = c.job
+		req.Path = path
+		resp, err := sc.call(req)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, resp)
+	}
+	return out, nil
+}
+
+// Mkdir creates a directory (replicated on every server).
+func (c *Client) Mkdir(path string) error {
+	resps, err := c.broadcast(path, func() *transport.Request {
+		return &transport.Request{Type: transport.MsgMkdir}
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range resps {
+		if r.Err != "" {
+			return r.Error()
+		}
+	}
+	return nil
+}
+
+// Readdir lists a directory, merging the children recorded on each
+// server (a file's directory entry lives on the file's owner server).
+func (c *Client) Readdir(path string) ([]string, error) {
+	resps, err := c.broadcast(path, func() *transport.Request {
+		return &transport.Request{Type: transport.MsgReaddir}
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range resps {
+		if r.Err != "" {
+			return nil, r.Error()
+		}
+		for _, n := range r.Names {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Unlink removes a file (on its owner server) or a directory (on all).
+func (c *Client) Unlink(path string) error {
+	_, isDir, err := c.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !isDir {
+		_, err := c.call(path, &transport.Request{Type: transport.MsgUnlink})
+		return err
+	}
+	resps, err := c.broadcast(path, func() *transport.Request {
+		return &transport.Request{Type: transport.MsgUnlink}
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range resps {
+		if r.Err != "" {
+			return r.Error()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"themisio/internal/policy"
+)
+
+// Strict mode (the opportunity-fairness ablation) forfeits draws that
+// land on jobs without work, wasting cycles the production design
+// reclaims.
+func TestStrictModeWastesIdleShares(t *testing.T) {
+	th := New(policy.JobFair, 11)
+	th.SetStrict(true)
+	th.SetJobs(jobs("busy", "idle"))
+	for i := 0; i < 2000; i++ {
+		th.Push(req("busy", 1))
+	}
+	served, misses := 0, 0
+	for i := 0; i < 4000 && th.Pending() > 0; i++ {
+		if th.Pop(0, nil) != nil {
+			served++
+		} else {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("strict mode should forfeit draws landing on the idle job")
+	}
+	if th.Wasted() != int64(misses) {
+		t.Fatalf("Wasted() = %d, observed %d", th.Wasted(), misses)
+	}
+	// Roughly half the draws land on the idle job's segment.
+	frac := float64(misses) / float64(served+misses)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("wasted fraction = %.2f, want ~0.5 under job-fair", frac)
+	}
+	// Switching back to opportunistic serves everything.
+	th.SetStrict(false)
+	for th.Pending() > 0 {
+		if th.Pop(0, nil) == nil {
+			t.Fatal("opportunistic pop returned nil with backlog")
+		}
+	}
+}
+
+// In strict mode a saturated single job still gets its full share (its
+// segment covers all of [0,1)).
+func TestStrictModeSingleJobUnaffected(t *testing.T) {
+	th := New(policy.SizeFair, 3)
+	th.SetStrict(true)
+	th.SetJobs(jobs("only"))
+	for i := 0; i < 100; i++ {
+		th.Push(req("only", 1))
+	}
+	for i := 0; i < 100; i++ {
+		if th.Pop(0, nil) == nil {
+			t.Fatal("lone job should never miss")
+		}
+	}
+}

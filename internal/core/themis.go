@@ -1,0 +1,229 @@
+// Package core implements the ThemisIO scheduler — the paper's primary
+// contribution. Incoming I/O requests are grouped into per-job queues by
+// the communicator; the controller compiles the active sharing policy over
+// the active job set into a statistical token assignment (a probability
+// segment per job on [0,1), Equation 1); and each worker draws a token to
+// choose which job's queue to serve next.
+//
+// Two properties fall out of the design:
+//
+//   - Opportunity fairness: the draw is conditioned on jobs that actually
+//     have pending requests, so idle I/O cycles are reassigned to jobs with
+//     demand and the system always operates at maximal throughput (§1).
+//   - Processing isolation: because every service decision is an
+//     independent draw, a bursty job can never pack the queue ahead of a
+//     modest one — expected service rates match the policy shares at the
+//     granularity of single requests ("time slicing").
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/token"
+)
+
+// Themis is the statistical-token scheduler. It implements
+// sched.Scheduler. It is safe for concurrent use: the live server calls
+// Push from connection goroutines and Pop from workers; the simulator is
+// single-threaded and pays only uncontended-lock overhead.
+type Themis struct {
+	mu  sync.Mutex
+	pol policy.Policy
+	rng *rand.Rand
+
+	queues *sched.JobQueues
+
+	jobs     []policy.JobInfo
+	compiled *policy.Compiled
+
+	// strict disables opportunity fairness: tokens are drawn over the
+	// full assignment and a draw landing on a job without eligible work
+	// is forfeited (a wasted I/O cycle). This is the mandatory-assignment
+	// behaviour of prior bandwidth-reservation systems, kept as an
+	// ablation of the paper's key design choice.
+	strict bool
+
+	// stats
+	served map[string]int64
+	wasted int64
+}
+
+// New returns a Themis scheduler enforcing the given policy. seed fixes
+// the token-draw stream; experiments use distinct fixed seeds so results
+// are reproducible.
+func New(pol policy.Policy, seed int64) *Themis {
+	return &Themis{
+		pol:    pol,
+		rng:    rand.New(rand.NewSource(seed)),
+		queues: sched.NewJobQueues(),
+		served: make(map[string]int64),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (t *Themis) Name() string { return "themis-" + t.pol.String() }
+
+// Policy returns the active sharing policy.
+func (t *Themis) Policy() policy.Policy { return t.pol }
+
+// SetPolicy switches the sharing policy at runtime and recompiles the
+// assignment ("the statistical assignment can be easily adjusted by
+// recalculating the matrix multiplication", §3).
+func (t *Themis) SetPolicy(pol policy.Policy) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pol = pol
+	t.recompileLocked()
+}
+
+// SetJobs installs the active job set from the controller (local job
+// table heartbeats and λ-sync merges both land here) and recompiles the
+// token assignment.
+func (t *Themis) SetJobs(jobs []policy.JobInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jobs = append(t.jobs[:0], jobs...)
+	t.recompileLocked()
+}
+
+func (t *Themis) recompileLocked() {
+	c, err := policy.Compile(t.jobs, t.pol)
+	if err != nil {
+		// Compilation fails only on structurally impossible inputs (all
+		// weights zero); keep the previous assignment rather than stall.
+		return
+	}
+	t.compiled = c
+}
+
+// Assignment returns the current token assignment (nil before the first
+// SetJobs). Exposed for tests and for themisctl introspection.
+func (t *Themis) Assignment() *token.Assignment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.compiled == nil {
+		return nil
+	}
+	return t.compiled.Assignment
+}
+
+// Push implements sched.Scheduler: enqueue on the job's queue, creating
+// it on first sight. The caller (server communicator) is responsible for
+// also feeding the job table so SetJobs eventually reflects the job.
+func (t *Themis) Push(r *sched.Request) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queues.Push(r)
+}
+
+// Pop implements sched.Scheduler: draw a statistical token conditioned on
+// eligible jobs — jobs with a backlog whose head request the serving
+// plane can start now (allow filter) — and serve the head of the chosen
+// job's queue. Jobs that have traffic but are not yet in the assignment
+// (e.g. first requests raced the controller) are served from leftover
+// draws so they are never starved.
+func (t *Themis) Pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queues.Pending() == 0 {
+		return nil
+	}
+	eligible := func(j string) bool {
+		return t.queues.PeekFrom(j, allow) != nil
+	}
+	if t.compiled != nil && len(t.compiled.Assignment.Segments) > 0 {
+		if t.strict {
+			// Ablation mode: unconditioned draw; a miss wastes the cycle.
+			job, ok := t.compiled.Assignment.Lookup(t.rng.Float64())
+			if ok && eligible(job) {
+				return t.popFromLocked(job, allow)
+			}
+			t.wasted++
+			return nil
+		}
+		job, ok := t.compiled.Assignment.PickEligible(eligible, t.rng.Float64)
+		if ok {
+			if r := t.popFromLocked(job, allow); r != nil {
+				return r
+			}
+		}
+	}
+	// No assignment yet, or all backlogged jobs are outside it: serve the
+	// oldest-created eligible queue.
+	for _, id := range t.queues.Order() {
+		if eligible(id) {
+			return t.popFromLocked(id, allow)
+		}
+	}
+	return nil
+}
+
+func (t *Themis) popFromLocked(job string, allow sched.AllowFunc) *sched.Request {
+	r := t.queues.PopFrom(job, allow)
+	if r != nil {
+		t.served[job]++
+	}
+	return r
+}
+
+// Pending implements sched.Scheduler.
+func (t *Themis) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queues.Pending()
+}
+
+// PendingOf returns the backlog of one job (for tests/inspection).
+func (t *Themis) PendingOf(job string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queues.LenOf(job)
+}
+
+// SetStrict toggles the strict-shares ablation mode (see the strict
+// field). The production configuration is opportunistic (false).
+func (t *Themis) SetStrict(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.strict = on
+}
+
+// Wasted returns the number of forfeited draws in strict mode.
+func (t *Themis) Wasted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wasted
+}
+
+// Served returns the number of requests served per job since creation.
+func (t *Themis) Served() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.served))
+	for k, v := range t.served {
+		out[k] = v
+	}
+	return out
+}
+
+// Share returns the current token share of a job (0 if absent).
+func (t *Themis) Share(job string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.compiled == nil {
+		return 0
+	}
+	return t.compiled.Assignment.Share(job)
+}
+
+// String summarizes the scheduler state for debugging.
+func (t *Themis) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("themis{policy=%s jobs=%d pending=%d}", t.pol, len(t.jobs), t.queues.Pending())
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/workload"
+)
+
+// Capacity reproduces the §5.2 single-server hardware envelope text:
+// ~11.7 GB/s unidirectional and ~22 GB/s combined read+write.
+func Capacity() *Result {
+	r := &Result{ID: "capacity", Title: "§5.2 single-server hardware envelope"}
+	run := func(mk func(int) workload.Stream, procs int) *bb.Cluster {
+		c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.JobFair, 1)})
+		c.AddJob(bb.JobSpec{Job: jobInfo("j1", "u1", "g1", 1), Procs: procs, MakeStream: mk})
+		c.Run(12 * time.Second)
+		return c
+	}
+	w := run(func(int) workload.Stream { return workload.IORLoop(sched.OpWrite, workload.MB) }, 56)
+	writeRate := w.Meter().MedianRate("j1", 2*time.Second, 12*time.Second)
+	rd := run(func(int) workload.Stream { return workload.IORLoop(sched.OpRead, workload.MB) }, 56)
+	readRate := rd.Meter().MedianRate("j1", 2*time.Second, 12*time.Second)
+	both := run(wrCycle(), 224)
+	bothRate := both.Meter().MedianRate("j1", 6*time.Second, 12*time.Second)
+
+	r.addf("write-only      : %6.1f GB/s", gbps(writeRate))
+	r.addf("read-only       : %6.1f GB/s", gbps(readRate))
+	r.addf("write+read mixed: %6.1f GB/s", gbps(bothRate))
+	r.Paper = []string{
+		"unidirectional ~11.7 GB/s per server; combined read+write ~22 GB/s",
+	}
+	r.metric("write_gbps", gbps(writeRate))
+	r.metric("read_gbps", gbps(readRate))
+	r.metric("combined_gbps", gbps(bothRate))
+	return r
+}
+
+// Fig7 reproduces the scaling study: 1–128 server nodes, an equal number
+// of client nodes each running 8 IOR processes writing and reading 1 GB
+// files in 1 MB blocks, under FIFO and job-fair queuing.
+func Fig7() *Result {
+	r := &Result{ID: "fig7", Title: "Figure 7: aggregate throughput scaling"}
+	r.addf("%8s %14s %14s %14s %14s %8s", "servers", "fifo-read", "fifo-write", "jobfair-read", "jobfair-write", "eff")
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	const (
+		dur     = 3 * time.Second
+		warm    = time.Second
+		tick    = 2 * time.Millisecond
+		procsPN = 8
+	)
+	measure := func(n int, mk func(int, float64) sched.Scheduler, op sched.Op) float64 {
+		c := bb.NewCluster(bb.Config{Servers: n, NewSched: mk, Tick: tick})
+		c.AddJob(bb.JobSpec{
+			Job:   jobInfo("ior", "u1", "g1", n),
+			Procs: procsPN * n,
+			MakeStream: func(int) workload.Stream {
+				return workload.IORLoop(op, workload.MB)
+			},
+			QueueDepth: 8,
+		})
+		c.Run(dur)
+		return c.Meter().MedianRate("ior", warm, dur)
+	}
+	for _, n := range counts {
+		fr := measure(n, fifoSched(), sched.OpRead)
+		fw := measure(n, fifoSched(), sched.OpWrite)
+		jr := measure(n, themisSched(policy.JobFair, 7), sched.OpRead)
+		jw := measure(n, themisSched(policy.JobFair, 7), sched.OpWrite)
+		eff := fr / (float64(n) * bb.DefaultDirBW)
+		r.addf("%8d %11.1f GB/s %11.1f GB/s %11.1f GB/s %11.1f GB/s %7.0f%%",
+			n, gbps(fr), gbps(fw), gbps(jr), gbps(jw), eff*100)
+		if n == 1 {
+			r.metric("n1_read_gbps", gbps(fr))
+		}
+		if n == 8 {
+			r.metric("n8_eff", eff)
+		}
+		if n == 128 {
+			r.metric("n128_read_gbps", gbps(fr))
+			r.metric("n128_eff", eff)
+		}
+	}
+	r.Paper = []string{
+		"1 server: 11.7 GB/s; 8 servers: slowest 77.1 GB/s (82% efficiency);",
+		"128 servers: 1017 GB/s (68% efficiency); FIFO and job-fair comparable",
+	}
+	return r
+}

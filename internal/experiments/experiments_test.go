@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape* claims of each reproduced figure — the
+// ratios, orderings and convergence points the paper's evaluation rests
+// on. The slow application suite (fig1/fig13, ~2 minutes) is exercised
+// by BenchmarkFig13Applications instead.
+
+func metricsOf(t *testing.T, r *Result) map[string]float64 {
+	t.Helper()
+	if r.Metrics == nil {
+		t.Fatalf("%s: no metrics", r.ID)
+	}
+	return r.Metrics
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"capacity", "fig1", "fig7", "fig8a", "fig8b", "fig8c",
+		"fig9", "fig10", "fig12", "fig13", "fig14", "ablation", "metadata"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for i, id := range want {
+		if Registry[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, Registry[i].ID, id)
+		}
+		if Lookup(id) == nil {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown id should be nil")
+	}
+}
+
+func TestCapacityEnvelope(t *testing.T) {
+	m := metricsOf(t, Capacity())
+	if m["write_gbps"] < 11 || m["write_gbps"] > 12.5 {
+		t.Fatalf("write = %.1f GB/s, want ~11.7", m["write_gbps"])
+	}
+	if m["read_gbps"] < 11 || m["read_gbps"] > 12.5 {
+		t.Fatalf("read = %.1f GB/s, want ~11.7", m["read_gbps"])
+	}
+	if m["combined_gbps"] < 20.5 || m["combined_gbps"] > 23 {
+		t.Fatalf("combined = %.1f GB/s, want ~22", m["combined_gbps"])
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	m := metricsOf(t, Fig8a())
+	if m["ratio"] < 3.6 || m["ratio"] > 4.4 {
+		t.Fatalf("size-fair ratio = %.2f, want ~4 (paper 3.96)", m["ratio"])
+	}
+	if m["alone_gbps"] < 20 {
+		t.Fatalf("unopposed = %.1f GB/s, want ~22", m["alone_gbps"])
+	}
+	if tot := m["job1_gbps"] + m["job2_gbps"]; tot < 20 {
+		t.Fatalf("sharing total = %.1f GB/s — utilization lost", tot)
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	m := metricsOf(t, Fig8b())
+	if m["ratio"] < 0.9 || m["ratio"] > 1.15 {
+		t.Fatalf("job-fair ratio = %.2f, want ~1", m["ratio"])
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	m := metricsOf(t, Fig8c())
+	diff := m["userA_gbps"] / m["userB_gbps"]
+	if diff < 0.9 || diff > 1.15 {
+		t.Fatalf("user-fair user split = %.2f, want ~1 (paper 10.85 vs 10.80)", diff)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	m := metricsOf(t, Fig9())
+	if r := m["user1_gbps"] / m["user2_gbps"]; r < 0.9 || r > 1.1 {
+		t.Fatalf("user split = %.2f, want ~1", r)
+	}
+	if m["u1_ratio"] < 1.8 || m["u1_ratio"] > 2.2 {
+		t.Fatalf("user1 within ratio = %.2f, want ~2 (1:2 nodes)", m["u1_ratio"])
+	}
+	if m["u2_ratio"] < 1.3 || m["u2_ratio"] > 1.7 {
+		t.Fatalf("user2 within ratio = %.2f, want ~1.5 (4:6 nodes)", m["u2_ratio"])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	m := metricsOf(t, Fig10())
+	if m["group1_share"] < 0.45 || m["group1_share"] > 0.55 {
+		t.Fatalf("group1 share = %.2f, want ~0.5", m["group1_share"])
+	}
+	for _, u := range []string{"u2", "u3", "u4"} {
+		s := m["user_"+u+"_share"]
+		if s < 0.13 || s > 0.21 {
+			t.Fatalf("user %s share = %.3f, want ~1/6", u, s)
+		}
+	}
+	if m["total_gbps"] < 18 {
+		t.Fatalf("total = %.1f GB/s, want ~20", m["total_gbps"])
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	m := metricsOf(t, Fig12())
+	// ThemisIO sustains a double-digit peak advantage over both.
+	if m["peak_gain_vs_gift_pct"] < 8 || m["peak_gain_vs_gift_pct"] > 20 {
+		t.Fatalf("gain vs GIFT = %.1f%%, paper 13.5%%", m["peak_gain_vs_gift_pct"])
+	}
+	if m["peak_gain_vs_tbf_pct"] < 8 || m["peak_gain_vs_tbf_pct"] > 20 {
+		t.Fatalf("gain vs TBF = %.1f%%, paper 13.7%%", m["peak_gain_vs_tbf_pct"])
+	}
+	// Variance ordering: ThemisIO < GIFT < TBF (paper 504 < 626 < 845).
+	if !(m["themisio_sigma_mbps"] < m["gift_sigma_mbps"] &&
+		m["gift_sigma_mbps"] < m["tbf_sigma_mbps"]) {
+		t.Fatalf("σ ordering broken: %v / %v / %v",
+			m["themisio_sigma_mbps"], m["gift_sigma_mbps"], m["tbf_sigma_mbps"])
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	m := metricsOf(t, Fig14())
+	// All λ converge; larger λ converge by the 2nd interval.
+	for _, k := range []string{"l200_converge_interval", "l500_converge_interval"} {
+		if m[k] < 1 || m[k] > 2 {
+			t.Fatalf("%s = %v, want <= 2", k, m[k])
+		}
+	}
+	if m["l10_converge_interval"] < 3 {
+		t.Fatalf("λ=10ms converged at interval %v; the paper needs 5 (control-plane bound)", m["l10_converge_interval"])
+	}
+	// Shorter λ → higher post-convergence share variance.
+	if !(m["l10_share_sigma"] > m["l50_share_sigma"] &&
+		m["l50_share_sigma"] > m["l500_share_sigma"]) {
+		t.Fatalf("variance trend broken: %v / %v / %v",
+			m["l10_share_sigma"], m["l50_share_sigma"], m["l500_share_sigma"])
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	m := metricsOf(t, Ablation())
+	if m["opp_total_gbps"] < 1.5*m["strict_total_gbps"] {
+		t.Fatalf("opportunity fairness should roughly double utilization here: %v vs %v",
+			m["opp_total_gbps"], m["strict_total_gbps"])
+	}
+	if m["wide_share_deweighted"] >= m["wide_share_raw"] {
+		t.Fatal("presence deweighting should shrink the wide job's per-server share")
+	}
+}
+
+func TestMetadataIsolationShape(t *testing.T) {
+	m := metricsOf(t, Metadata())
+	if m["fair_victim_gbps"] < 3*m["fifo_victim_gbps"] {
+		t.Fatalf("job-fair should rescue the victim's data path: %.2f vs %.2f GB/s",
+			m["fair_victim_gbps"], m["fifo_victim_gbps"])
+	}
+	if m["fifo_storm_ops"] < 0.5e6 {
+		t.Fatalf("storm should saturate the IOPS envelope under FIFO: %.0f ops/s", m["fifo_storm_ops"])
+	}
+}
+
+func TestRenderIncludesPaperReference(t *testing.T) {
+	res := Capacity()
+	out := res.Render()
+	if !strings.Contains(out, "paper reports") || !strings.Contains(out, "GB/s") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+)
+
+// Fig12 compares ThemisIO's job-fair sharing against the GIFT and TBF
+// algorithms (reimplemented behind the same scheduler interface, exactly
+// as the paper did in §5.4) using a pair of single-node benchmark jobs:
+// job 1 runs 60 s; job 2 runs 15 s–45 s.
+func Fig12() *Result {
+	r := &Result{ID: "fig12", Title: "ThemisIO vs GIFT vs TBF, job-fair sharing"}
+	type outcome struct {
+		name              string
+		peak, j2, sd, tot float64
+	}
+	run := func(name string, mk func(int, float64) sched.Scheduler) outcome {
+		// Meter at 250 ms bins: the allocation-quantization signatures of
+		// GIFT (500 ms windows) and TBF (bucket drain/refill cycles) show
+		// up below the 1 s sampling the paper uses; the simulator has no
+		// client/network noise, so the quantization is the whole σ signal.
+		// Means (rather than medians of sub-second bins) give the paper's
+		// sustained-throughput numbers.
+		c := bb.NewCluster(bb.Config{Servers: 1, NewSched: mk, Bin: 250 * time.Millisecond})
+		benchJob(c, jobInfo("job1", "u1", "g1", 1), 0, shareEnd)
+		benchJob(c, jobInfo("job2", "u2", "g1", 1), shareJob2Start, shareJob2Stop)
+		c.Run(shareEnd)
+		m := c.Meter()
+		return outcome{
+			name: name,
+			peak: m.MeanRate("job1", aloneFrom, aloneTo),
+			j2:   m.MeanRate("job2", sharedFrom, sharedTo),
+			sd:   m.StddevRate("job2", sharedFrom, sharedTo),
+			tot:  m.MeanRate("job1", sharedFrom, sharedTo) + m.MeanRate("job2", sharedFrom, sharedTo),
+		}
+	}
+	outs := []outcome{
+		run("themisio", themisSched(policy.JobFair, 12)),
+		run("gift", giftSched()),
+		run("tbf", tbfSched()),
+	}
+	r.addf("%-9s %12s %14s %12s %14s", "scheduler", "peak(job1)", "job2 shared", "σ(job2)", "shared total")
+	for _, o := range outs {
+		r.addf("%-9s %9.1f GB/s %11.1f GB/s %9.0f MB/s %11.1f GB/s",
+			o.name, gbps(o.peak), gbps(o.j2), o.sd/1e6, gbps(o.tot))
+		r.metric(o.name+"_peak_gbps", gbps(o.peak))
+		r.metric(o.name+"_job2_gbps", gbps(o.j2))
+		r.metric(o.name+"_sigma_mbps", o.sd/1e6)
+	}
+	th, gf, tb := outs[0], outs[1], outs[2]
+	r.addf("themis peak vs gift/tbf : +%.1f%% / +%.1f%%",
+		(th.peak/gf.peak-1)*100, (th.peak/tb.peak-1)*100)
+	r.addf("themis job2 vs gift/tbf : +%.1f%% / +%.1f%%",
+		(th.j2/gf.j2-1)*100, (th.j2/tb.j2-1)*100)
+	r.metric("peak_gain_vs_gift_pct", (th.peak/gf.peak-1)*100)
+	r.metric("peak_gain_vs_tbf_pct", (th.peak/tb.peak-1)*100)
+	r.Paper = []string{
+		"peak: ThemisIO 19.8 GB/s, +13.5% over GIFT (17.5), +13.7% over TBF (17.4);",
+		"job2 shared: 10.2 vs 9.4 (GIFT) vs 8.9 (TBF) GB/s;",
+		"σ(job2): 504 vs 626 (GIFT) vs 845 (TBF) MB/s",
+	}
+	return r
+}

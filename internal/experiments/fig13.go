@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"time"
+
+	"themisio/internal/apptrace"
+	"themisio/internal/bb"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+)
+
+// appServers is the deployment of §5.5: two ThemisIO servers.
+const appServers = 2
+
+// horizonFactor bounds how much longer than baseline an interfered run
+// may take before the experiment is considered misconfigured.
+const horizonFactor = 8
+
+// runApp executes one application run and returns its time-to-solution.
+// bg, when true, adds the §5.5 background job: a one-node 56-process I/O
+// benchmark running for the whole horizon.
+func runApp(app apptrace.App, mk func(int, float64) sched.Scheduler, bg bool, horizon time.Duration) time.Duration {
+	c := bb.NewCluster(bb.Config{Servers: appServers, NewSched: mk})
+	h := apptrace.Run(c, app, policy.JobInfo{
+		JobID: app.Name, UserID: "science", GroupID: "apps", Nodes: app.Nodes,
+	})
+	if bg {
+		c.AddJob(bb.JobSpec{
+			Job:        jobInfo("background", "noisy", "other", 1),
+			Procs:      56,
+			MakeStream: wrCycle(),
+		})
+	}
+	c.Run(horizon)
+	return h.TTS()
+}
+
+type appRow struct {
+	name               string
+	base, fifo, fair   time.Duration
+	fifoPct, fairPct   float64
+	slowdownReduction  float64
+	maxPossiblePct     float64
+	nodesWithBg, nodes int
+}
+
+func runAppSuite(apps []apptrace.App) []appRow {
+	rows := make([]appRow, 0, len(apps))
+	for _, app := range apps {
+		base := runApp(app, themisSched(policy.SizeFair, 13), false, 10*time.Minute)
+		horizon := time.Duration(float64(base) * horizonFactor)
+		fifo := runApp(app, fifoSched(), true, horizon)
+		fair := runApp(app, themisSched(policy.SizeFair, 13), true, horizon)
+		row := appRow{
+			name: app.Name, base: base, fifo: fifo, fair: fair,
+			fifoPct: (float64(fifo)/float64(base) - 1) * 100,
+			fairPct: (float64(fair)/float64(base) - 1) * 100,
+			nodes:   app.Nodes, nodesWithBg: app.Nodes + 1,
+			maxPossiblePct: 100.0 / float64(app.Nodes+1),
+		}
+		if row.fifoPct > 0 {
+			row.slowdownReduction = (1 - row.fairPct/row.fifoPct) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig13 reproduces the §5.5 application study: each application runs (1)
+// with exclusive access (baseline), (2) under FIFO with a background
+// benchmark job, and (3) under size-fair with the background job.
+func Fig13() *Result {
+	r := &Result{ID: "fig13", Title: "application slowdown: FIFO vs size-fair (2 servers)"}
+	apps := append(apptrace.Suite(), apptrace.ResNet50Sync)
+	rows := runAppSuite(apps)
+	r.addf("%-15s %10s %12s %12s %11s %11s %12s", "app", "baseline", "fifo+bg", "sizefair+bg", "fifo slow", "fair slow", "reduction")
+	for _, row := range rows {
+		r.addf("%-15s %9.1fs %11.1fs %11.1fs %+10.1f%% %+10.1f%% %11.1f%%",
+			row.name, row.base.Seconds(), row.fifo.Seconds(), row.fair.Seconds(),
+			row.fifoPct, row.fairPct, row.slowdownReduction)
+		key := row.name
+		r.metric(key+"_fifo_pct", row.fifoPct)
+		r.metric(key+"_fair_pct", row.fairPct)
+	}
+	r.Paper = []string{
+		"FIFO slowdown: NAMD 60.6%, WRF 45.3%, BERT 3.8%, SPECFEM3D 3.0%, ResNet-50 170% (2.7x);",
+		"size-fair:     NAMD  0.1%, WRF  4.6%, BERT 1.6%, SPECFEM3D 0.0%, ResNet-50 12.9%;",
+		"ResNet-50 sync variant: FIFO ~2.0x vs size-fair 1.1%;",
+		"slowdown reduced 59.1–99.8% across applications",
+	}
+	return r
+}
+
+// Fig1 reproduces the motivating figure: time-to-solution of the five
+// applications with exclusive burst-buffer access vs shared with a
+// background I/O job under FIFO (the production default).
+func Fig1() *Result {
+	r := &Result{ID: "fig1", Title: "baseline vs shared (FIFO) time-to-solution"}
+	rows := runAppSuite(apptrace.Suite())
+	r.addf("%-15s %12s %12s %10s", "app", "baseline", "shared", "slowdown")
+	for _, row := range rows {
+		r.addf("%-15s %11.1fs %11.1fs %+9.1f%%", row.name, row.base.Seconds(), row.fifo.Seconds(), row.fifoPct)
+		r.metric(row.name+"_slowdown_pct", row.fifoPct)
+	}
+	r.Paper = []string{"shared runtimes are 3–173% longer than baseline across the five applications"}
+	return r
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/policy"
+)
+
+// sharingTimeline is the common shape of Figures 8 and 12: job 1 runs for
+// 60 s, job 2 starts at 15 s and runs for 30 s.
+const (
+	shareJob2Start = 15 * time.Second
+	shareJob2Stop  = 45 * time.Second
+	shareEnd       = 60 * time.Second
+	// Measurement windows (skip 5 s of edges for clean medians).
+	aloneFrom  = 5 * time.Second
+	aloneTo    = 14 * time.Second
+	sharedFrom = 20 * time.Second
+	sharedTo   = 44 * time.Second
+)
+
+// seriesLine renders a job's combined-throughput series every sampleEvery
+// seconds, the textual analogue of the figure curves.
+func seriesLine(c *bb.Cluster, job string, until time.Duration, every int) string {
+	rates := c.Meter().Rates(job, 0, until)
+	out := fmt.Sprintf("%-8s", job)
+	for i := 0; i < len(rates); i += every {
+		out += fmt.Sprintf(" %5.1f", rates[i]/1e9)
+	}
+	return out + "  (GB/s, every " + fmt.Sprint(every) + "s)"
+}
+
+// Fig8a: size-fair, a 4-node 224-process job against a 1-node 56-process
+// job; throughput splits ~4:1.
+func Fig8a() *Result {
+	r := &Result{ID: "fig8a", Title: "size-fair, 4-node vs 1-node"}
+	c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.SizeFair, 8)})
+	benchJob(c, jobInfo("job1-4n", "u1", "g1", 4), 0, shareEnd)
+	benchJob(c, jobInfo("job2-1n", "u2", "g1", 1), shareJob2Start, shareJob2Stop)
+	c.Run(shareEnd)
+
+	alone := c.Meter().MedianRate("job1-4n", aloneFrom, aloneTo)
+	s1 := c.Meter().MedianRate("job1-4n", sharedFrom, sharedTo)
+	s2 := c.Meter().MedianRate("job2-1n", sharedFrom, sharedTo)
+	r.addf("job1 unopposed median : %5.1f GB/s", gbps(alone))
+	r.addf("job1 shared median    : %5.1f GB/s", gbps(s1))
+	r.addf("job2 shared median    : %5.1f GB/s", gbps(s2))
+	r.addf("throughput ratio      : %5.2fx (job sizes 4:1)", s1/s2)
+	r.Lines = append(r.Lines, seriesLine(c, "job1-4n", shareEnd, 5), seriesLine(c, "job2-1n", shareEnd, 5))
+	r.Paper = []string{
+		"unopposed 21.8 GB/s; shared 17.4 vs 4.4 GB/s — ratio 3.96x ≈ the 4x size ratio",
+	}
+	r.metric("alone_gbps", gbps(alone))
+	r.metric("job1_gbps", gbps(s1))
+	r.metric("job2_gbps", gbps(s2))
+	r.metric("ratio", s1/s2)
+	return r
+}
+
+// Fig8b: job-fair over the same pair; near-equal split.
+func Fig8b() *Result {
+	r := &Result{ID: "fig8b", Title: "job-fair, 4-node vs 1-node"}
+	c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.JobFair, 8)})
+	benchJob(c, jobInfo("job1-4n", "u1", "g1", 4), 0, shareEnd)
+	benchJob(c, jobInfo("job2-1n", "u2", "g1", 1), shareJob2Start, shareJob2Stop)
+	c.Run(shareEnd)
+
+	alone := c.Meter().MedianRate("job1-4n", aloneFrom, aloneTo)
+	s1 := c.Meter().MedianRate("job1-4n", sharedFrom, sharedTo)
+	s2 := c.Meter().MedianRate("job2-1n", sharedFrom, sharedTo)
+	r.addf("job1 unopposed median : %5.1f GB/s", gbps(alone))
+	r.addf("job1 shared median    : %5.1f GB/s", gbps(s1))
+	r.addf("job2 shared median    : %5.1f GB/s", gbps(s2))
+	r.addf("throughput ratio      : %5.2fx (want ~1 despite 4x more processes)", s1/s2)
+	r.Paper = []string{"unopposed 21.7 GB/s; both jobs ~10.6 GB/s when sharing"}
+	r.metric("job1_gbps", gbps(s1))
+	r.metric("job2_gbps", gbps(s2))
+	r.metric("ratio", s1/s2)
+	return r
+}
+
+// Fig8c: user-fair; user A runs two 2-node jobs, user B one 1-node job.
+// The users split evenly regardless of job counts and sizes.
+func Fig8c() *Result {
+	r := &Result{ID: "fig8c", Title: "user-fair, 2 users / 3 jobs"}
+	c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.UserFair, 8)})
+	benchJob(c, jobInfo("ua-job1", "userA", "g1", 2), 0, shareEnd)
+	benchJob(c, jobInfo("ua-job2", "userA", "g1", 2), shareJob2Start, shareJob2Stop)
+	benchJob(c, jobInfo("ub-job1", "userB", "g1", 1), shareJob2Start, shareJob2Stop)
+	c.Run(shareEnd)
+
+	a1 := c.Meter().MedianRate("ua-job1", sharedFrom, sharedTo)
+	a2 := c.Meter().MedianRate("ua-job2", sharedFrom, sharedTo)
+	b1 := c.Meter().MedianRate("ub-job1", sharedFrom, sharedTo)
+	r.addf("user A job1 : %5.1f GB/s (2 nodes)", gbps(a1))
+	r.addf("user A job2 : %5.1f GB/s (2 nodes)", gbps(a2))
+	r.addf("user A total: %5.1f GB/s", gbps(a1+a2))
+	r.addf("user B total: %5.1f GB/s (1 node, 1 job)", gbps(b1))
+	r.Paper = []string{"user A total 10.85 GB/s ≈ user B 10.80 GB/s"}
+	r.metric("userA_gbps", gbps(a1+a2))
+	r.metric("userB_gbps", gbps(b1))
+	return r
+}
+
+// Fig9: user-then-size-fair with four jobs — even across users, then
+// proportional to node count within each user.
+func Fig9() *Result {
+	r := &Result{ID: "fig9", Title: "user-then-size-fair, 2 users / 4 jobs"}
+	c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.UserThenSizeFair, 9)})
+	benchJob(c, jobInfo("u1-j1", "user1", "g1", 1), 0, shareEnd)
+	benchJob(c, jobInfo("u1-j2", "user1", "g1", 2), 0, shareEnd)
+	benchJob(c, jobInfo("u2-j3", "user2", "g1", 4), 0, shareEnd)
+	benchJob(c, jobInfo("u2-j4", "user2", "g1", 6), 0, shareEnd)
+	c.Run(shareEnd)
+
+	from, to := 10*time.Second, shareEnd
+	j1 := c.Meter().MedianRate("u1-j1", from, to)
+	j2 := c.Meter().MedianRate("u1-j2", from, to)
+	j3 := c.Meter().MedianRate("u2-j3", from, to)
+	j4 := c.Meter().MedianRate("u2-j4", from, to)
+	r.addf("user1 job1 (1 node) : %5.1f GB/s", gbps(j1))
+	r.addf("user1 job2 (2 nodes): %5.1f GB/s", gbps(j2))
+	r.addf("user2 job3 (4 nodes): %5.1f GB/s", gbps(j3))
+	r.addf("user2 job4 (6 nodes): %5.1f GB/s", gbps(j4))
+	r.addf("user totals         : %5.1f vs %5.1f GB/s", gbps(j1+j2), gbps(j3+j4))
+	r.addf("within-user ratios  : %4.2f (want 2.0), %4.2f (want 1.5)", j2/j1, j4/j3)
+	r.Paper = []string{
+		"user1: 3.3 + 6.6 GB/s (1:2); user2: 3.9 + 5.9 GB/s (≈4:6); users ~10 GB/s each",
+	}
+	r.metric("user1_gbps", gbps(j1+j2))
+	r.metric("user2_gbps", gbps(j3+j4))
+	r.metric("u1_ratio", j2/j1)
+	r.metric("u2_ratio", j4/j3)
+	return r
+}
+
+// Fig10 reproduces the three-tier group-user-size-fair experiment of
+// Figures 10 and 11: two groups, four users, eight jobs; the result is
+// rendered as the share tree of Figure 11.
+func Fig10() *Result {
+	r := &Result{ID: "fig10", Title: "group-user-size-fair, 2 groups / 4 users / 8 jobs"}
+	c := bb.NewCluster(bb.Config{Servers: 1, NewSched: themisSched(policy.GroupUserSizeFair, 10)})
+	type jdef struct {
+		id    string
+		user  string
+		group string
+		nodes int
+	}
+	defs := []jdef{
+		{"g1-u1-j1", "u1", "g1", 1},
+		{"g2-u2-j2", "u2", "g2", 2},
+		{"g2-u2-j3", "u2", "g2", 3},
+		{"g2-u2-j4", "u2", "g2", 2},
+		{"g2-u3-j5", "u3", "g2", 3},
+		{"g2-u3-j6", "u3", "g2", 2},
+		{"g2-u4-j7", "u4", "g2", 1},
+		{"g2-u4-j8", "u4", "g2", 2},
+	}
+	for _, d := range defs {
+		benchJob(c, jobInfo(d.id, d.user, d.group, d.nodes), 0, shareEnd)
+	}
+	c.Run(shareEnd)
+
+	from, to := 10*time.Second, shareEnd
+	rate := map[string]float64{}
+	total := 0.0
+	for _, d := range defs {
+		rate[d.id] = c.Meter().MedianRate(d.id, from, to)
+		total += rate[d.id]
+	}
+	r.addf("total throughput: %5.1f GB/s", gbps(total))
+	groups := map[string]float64{}
+	users := map[string]float64{}
+	for _, d := range defs {
+		groups[d.group] += rate[d.id]
+		users[d.user] += rate[d.id]
+	}
+	for _, g := range []string{"g1", "g2"} {
+		r.addf("group %s: %4.1f%% (%4.1f GB/s)", g, groups[g]/total*100, gbps(groups[g]))
+	}
+	for _, u := range []string{"u1", "u2", "u3", "u4"} {
+		r.addf("  user %s: %4.1f%%", u, users[u]/total*100)
+	}
+	for _, d := range defs {
+		r.addf("    %s (size=%d): %5.2f%%", d.id, d.nodes, rate[d.id]/total*100)
+	}
+	r.Paper = []string{
+		"total 20.7 GB/s; group1 46% / group2 54%; group2 users ~18% each;",
+		"jobs within a user proportional to node count (Figure 11 tree)",
+	}
+	r.metric("total_gbps", gbps(total))
+	r.metric("group1_share", groups["g1"]/total)
+	r.metric("group2_share", groups["g2"]/total)
+	for _, u := range []string{"u2", "u3", "u4"} {
+		r.metric("user_"+u+"_share", users[u]/total)
+	}
+	return r
+}

@@ -1,0 +1,515 @@
+// Package fsys implements ThemisIO's user-space file system (§4.3): a
+// byte-addressable store where "both directories and files are stored as
+// files, and files and metadata are spread across ThemisIO servers using
+// a consistent hash function". Each server holds a Shard (namespace
+// entries it owns plus extent-indexed data); a Router stripes paths and
+// data across shards.
+//
+// Concurrency follows the paper: concurrent reads need no locking;
+// concurrent writes to non-conflicting byte ranges proceed without
+// limitation; metadata updates are serialized per shard.
+package fsys
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"themisio/internal/chash"
+	"themisio/internal/storage"
+)
+
+// Errors mirror the POSIX conditions the intercepted functions surface.
+var (
+	ErrNotExist  = errors.New("fsys: no such file or directory")
+	ErrExist     = errors.New("fsys: file exists")
+	ErrIsDir     = errors.New("fsys: is a directory")
+	ErrNotDir    = errors.New("fsys: not a directory")
+	ErrNotEmpty  = errors.New("fsys: directory not empty")
+	ErrBadOffset = errors.New("fsys: negative offset")
+)
+
+// FileInfo is the stat result.
+type FileInfo struct {
+	Path  string
+	Size  int64
+	IsDir bool
+	// Stripes is the number of shards the file's data spans.
+	Stripes int
+}
+
+// node is one namespace entry on a shard.
+type node struct {
+	isDir    bool
+	children map[string]bool // directories: child names
+	index    *storage.Index  // files: local extent index
+	stripes  int
+}
+
+// Shard is the per-server piece of the file system: the namespace
+// entries whose paths hash to this server, plus local extents of striped
+// files.
+type Shard struct {
+	name  string
+	store *storage.Store
+
+	mu    sync.RWMutex
+	nodes map[string]*node
+}
+
+// NewShard returns a shard named name with a device of the given
+// capacity. The root directory exists on every shard (path lookups for
+// "/" must succeed wherever they land).
+func NewShard(name string, capacity int64) *Shard {
+	s := &Shard{
+		name:  name,
+		store: storage.NewStore(capacity),
+		nodes: map[string]*node{},
+	}
+	s.nodes["/"] = &node{isDir: true, children: map[string]bool{}}
+	return s
+}
+
+// Name returns the shard's server name.
+func (s *Shard) Name() string { return s.name }
+
+// Used returns allocated device bytes.
+func (s *Shard) Used() int64 { return s.store.Used() }
+
+// clean canonicalizes a path.
+func clean(p string) string {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	return p
+}
+
+// CreateEntry records a namespace entry (file or directory) on this
+// shard. The router calls this on the owner shard of the path, and
+// separately updates the parent directory ("directory and file creation
+// updates the content of the parent directory", §4.3).
+func (s *Shard) CreateEntry(p string, dir bool, stripes int) error {
+	p = clean(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[p]; ok {
+		return ErrExist
+	}
+	n := &node{isDir: dir, stripes: stripes}
+	if dir {
+		n.children = map[string]bool{}
+	} else {
+		n.index = storage.NewIndex()
+	}
+	s.nodes[p] = n
+	return nil
+}
+
+// AddChild records a child name in a directory owned by this shard.
+func (s *Shard) AddChild(dir, child string) error {
+	dir = clean(dir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.nodes[dir]
+	if !ok {
+		return ErrNotExist
+	}
+	if !d.isDir {
+		return ErrNotDir
+	}
+	d.children[child] = true
+	return nil
+}
+
+// RemoveChild removes a child name from a directory owned by this shard.
+func (s *Shard) RemoveChild(dir, child string) error {
+	dir = clean(dir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.nodes[dir]
+	if !ok {
+		return ErrNotExist
+	}
+	delete(d.children, child)
+	return nil
+}
+
+// RemoveEntry deletes a namespace entry. Directories must be empty.
+func (s *Shard) RemoveEntry(p string) error {
+	p = clean(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[p]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.isDir && len(n.children) > 0 {
+		return ErrNotEmpty
+	}
+	if n.index != nil {
+		for _, e := range n.index.Extents() {
+			// Release never fails for extents the index allocated.
+			if err := s.store.Release(e); err != nil {
+				return fmt.Errorf("fsys: releasing %v: %w", e, err)
+			}
+		}
+	}
+	delete(s.nodes, p)
+	return nil
+}
+
+// Stat returns metadata for an entry owned by this shard. For files, Size
+// is the size of the local stripe only; the router sums stripes.
+func (s *Shard) Stat(p string) (FileInfo, error) {
+	p = clean(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[p]
+	if !ok {
+		return FileInfo{}, ErrNotExist
+	}
+	fi := FileInfo{Path: p, IsDir: n.isDir, Stripes: n.stripes}
+	if n.index != nil {
+		fi.Size = n.index.Size()
+	}
+	return fi, nil
+}
+
+// Readdir lists a directory owned by this shard, sorted.
+func (s *Shard) Readdir(p string) ([]string, error) {
+	p = clean(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[p]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	if !n.isDir {
+		return nil, ErrNotDir
+	}
+	out := make([]string, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Append writes data to the end of the local stripe of the file and
+// returns the new local size. Extent allocation is the only serialized
+// step; the data copy itself is lock-free (§4.3).
+func (s *Shard) Append(p string, data []byte) (int64, error) {
+	p = clean(p)
+	s.mu.RLock()
+	n, ok := s.nodes[p]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, ErrNotExist
+	}
+	if n.isDir {
+		return 0, ErrIsDir
+	}
+	if len(data) == 0 {
+		return n.index.Size(), nil
+	}
+	ext, err := s.store.Alloc(int64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.store.WriteAt(ext, 0, data); err != nil {
+		return 0, err
+	}
+	n.index.Append(ext)
+	return n.index.Size(), nil
+}
+
+// ReadAt reads up to len(buf) bytes of the local stripe at offset off;
+// short reads at EOF return the available prefix.
+func (s *Shard) ReadAt(p string, off int64, buf []byte) (int, error) {
+	p = clean(p)
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	s.mu.RLock()
+	n, ok := s.nodes[p]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, ErrNotExist
+	}
+	if n.isDir {
+		return 0, ErrIsDir
+	}
+	total := 0
+	for _, sl := range n.index.Resolve(off, int64(len(buf))) {
+		m, err := s.store.ReadAt(sl.Ext, sl.Off, buf[total:total+int(sl.Len)])
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Exists reports whether the shard owns an entry at p.
+func (s *Shard) Exists(p string) bool {
+	p = clean(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.nodes[p]
+	return ok
+}
+
+// Router spreads a namespace across shards with consistent hashing and
+// stripes file data round-robin over each file's stripe set.
+type Router struct {
+	ring    *chash.Ring
+	shards  map[string]*Shard
+	stripes int
+	stripe  int64 // stripe unit in bytes
+}
+
+// DefaultStripeUnit is the stripe unit used when none is configured.
+const DefaultStripeUnit = 1 << 20
+
+// NewRouter builds a router over the given shards. stripes is the number
+// of shards each file's data spans (clipped to the shard count);
+// stripeUnit is the bytes written to one shard before moving to the next.
+func NewRouter(shards []*Shard, stripes int, stripeUnit int64) *Router {
+	if stripes <= 0 {
+		stripes = 1
+	}
+	if stripes > len(shards) {
+		stripes = len(shards)
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	r := &Router{
+		ring:    chash.New(0),
+		shards:  map[string]*Shard{},
+		stripes: stripes,
+		stripe:  stripeUnit,
+	}
+	for _, s := range shards {
+		r.ring.Add(s.Name())
+		r.shards[s.Name()] = s
+	}
+	return r
+}
+
+// owner returns the shard owning the namespace entry for p.
+func (r *Router) owner(p string) *Shard {
+	name, _ := r.ring.Lookup(clean(p))
+	return r.shards[name]
+}
+
+// stripeSet returns the shards holding p's data, in stripe order.
+func (r *Router) stripeSet(p string) []*Shard {
+	names := r.ring.LookupN(clean(p), r.stripes)
+	out := make([]*Shard, len(names))
+	for i, n := range names {
+		out[i] = r.shards[n]
+	}
+	return out
+}
+
+// Mkdir creates a directory, updating the parent's content.
+func (r *Router) Mkdir(p string) error {
+	p = clean(p)
+	if p == "/" {
+		return ErrExist
+	}
+	parent, name := path.Split(p)
+	parent = clean(parent)
+	if fi, err := r.Stat(parent); err != nil || !fi.IsDir {
+		if err != nil {
+			return err
+		}
+		return ErrNotDir
+	}
+	if err := r.owner(p).CreateEntry(p, true, 0); err != nil {
+		return err
+	}
+	return r.owner(parent).AddChild(parent, name)
+}
+
+// Create creates an empty file with the router's stripe count; the
+// namespace entry lands on the owner shard and a stripe entry on each
+// shard in the stripe set.
+func (r *Router) Create(p string) error {
+	p = clean(p)
+	parent, name := path.Split(p)
+	parent = clean(parent)
+	if fi, err := r.Stat(parent); err != nil || !fi.IsDir {
+		if err != nil {
+			return err
+		}
+		return ErrNotDir
+	}
+	set := r.stripeSet(p)
+	for _, sh := range set {
+		if err := sh.CreateEntry(p, false, len(set)); err != nil {
+			return err
+		}
+	}
+	return r.owner(parent).AddChild(parent, name)
+}
+
+// Write appends data to the file (the client library tracks offsets; the
+// store is append-structured, as the paper's future-work section notes
+// for log-structured designs). Data is striped across the stripe set in
+// stripe-unit chunks.
+func (r *Router) Write(p string, data []byte) (int, error) {
+	set := r.stripeSet(p)
+	if len(set) == 0 {
+		return 0, ErrNotExist
+	}
+	written := 0
+	// Determine the next stripe from the current total size.
+	total := int64(0)
+	for _, sh := range set {
+		fi, err := sh.Stat(p)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size
+	}
+	for written < len(data) {
+		idx := int(total/r.stripe) % len(set)
+		chunk := int(r.stripe - total%r.stripe)
+		if chunk > len(data)-written {
+			chunk = len(data) - written
+		}
+		if _, err := set[idx].Append(p, data[written:written+chunk]); err != nil {
+			return written, err
+		}
+		written += chunk
+		total += int64(chunk)
+	}
+	return written, nil
+}
+
+// ReadAt reads from the striped file at a global offset.
+func (r *Router) ReadAt(p string, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	set := r.stripeSet(p)
+	if len(set) == 0 {
+		return 0, ErrNotExist
+	}
+	total := 0
+	for total < len(buf) {
+		idx := int(off/r.stripe) % len(set)
+		localOff := off/r.stripe/int64(len(set))*r.stripe + off%r.stripe
+		chunk := int(r.stripe - off%r.stripe)
+		if chunk > len(buf)-total {
+			chunk = len(buf) - total
+		}
+		n, err := set[idx].ReadAt(p, localOff, buf[total:total+chunk])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n < chunk {
+			break // EOF on this stripe
+		}
+		off += int64(n)
+	}
+	return total, nil
+}
+
+// Stat aggregates stripe sizes for files; directories stat the owner.
+func (r *Router) Stat(p string) (FileInfo, error) {
+	p = clean(p)
+	fi, err := r.owner(p).Stat(p)
+	if err != nil || fi.IsDir {
+		return fi, err
+	}
+	total := int64(0)
+	for _, sh := range r.stripeSet(p) {
+		sfi, err := sh.Stat(p)
+		if err != nil {
+			return fi, err
+		}
+		total += sfi.Size
+	}
+	fi.Size = total
+	return fi, nil
+}
+
+// Readdir lists a directory.
+func (r *Router) Readdir(p string) ([]string, error) {
+	return r.owner(p).Readdir(p)
+}
+
+// Rename moves a file to a new path. Data does not move: the namespace
+// entries (and each stripe's extent index) are re-registered under the
+// destination path on the destination's shard set. Directories cannot be
+// renamed (their children reference paths on many shards); this matches
+// the burst-buffer usage pattern where renames finalize checkpoints.
+func (r *Router) Rename(oldPath, newPath string) error {
+	oldPath, newPath = clean(oldPath), clean(newPath)
+	fi, err := r.Stat(oldPath)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir {
+		return ErrIsDir
+	}
+	if r.owner(newPath).Exists(newPath) {
+		return ErrExist
+	}
+	newParent, _ := path.Split(newPath)
+	if pfi, err := r.Stat(clean(newParent)); err != nil || !pfi.IsDir {
+		if err != nil {
+			return err
+		}
+		return ErrNotDir
+	}
+	// Read the whole file, create the destination, copy, remove source.
+	// (A production implementation would splice extent indexes; copying
+	// keeps the invariant that stripe placement always follows the hash
+	// of the current path, which reads depend on.)
+	buf := make([]byte, fi.Size)
+	if fi.Size > 0 {
+		if _, err := r.ReadAt(oldPath, 0, buf); err != nil {
+			return err
+		}
+	}
+	if err := r.Create(newPath); err != nil {
+		return err
+	}
+	if fi.Size > 0 {
+		if _, err := r.Write(newPath, buf); err != nil {
+			return err
+		}
+	}
+	return r.Unlink(oldPath)
+}
+
+// Unlink removes a file (all stripes) or empty directory.
+func (r *Router) Unlink(p string) error {
+	p = clean(p)
+	if p == "/" {
+		return ErrNotEmpty
+	}
+	fi, err := r.Stat(p)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir {
+		if err := r.owner(p).RemoveEntry(p); err != nil {
+			return err
+		}
+	} else {
+		for _, sh := range r.stripeSet(p) {
+			if err := sh.RemoveEntry(p); err != nil {
+				return err
+			}
+		}
+	}
+	parent, name := path.Split(p)
+	return r.owner(clean(parent)).RemoveChild(clean(parent), name)
+}

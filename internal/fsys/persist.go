@@ -1,0 +1,136 @@
+package fsys
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Persistence: the paper's conclusion names "various log-structure
+// byte-addressable file system designs and persistent data structure
+// strategy to enable fault tolerance" as future work. This file
+// implements the snapshot half of that strategy: a shard can serialize
+// its namespace and file contents to any io.Writer and be reconstructed
+// from it, so a burst-buffer node can drain to stable storage before
+// maintenance and restore afterwards.
+
+// snapshotHeader identifies the snapshot format.
+type snapshotHeader struct {
+	Magic   string
+	Version int
+	Shard   string
+	Entries int
+}
+
+const (
+	snapshotMagic   = "themisio-shard"
+	snapshotVersion = 1
+)
+
+// snapshotEntry is one serialized namespace entry.
+type snapshotEntry struct {
+	Path    string
+	IsDir   bool
+	Stripes int
+	Childs  []string
+	Data    []byte // file contents (local stripe), reassembled from extents
+}
+
+// Snapshot serializes the shard: namespace entries in path order, each
+// file's local stripe content read back through its extent index.
+func (s *Shard) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	paths := make([]string, 0, len(s.nodes))
+	for p := range s.nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	entries := make([]snapshotEntry, 0, len(paths))
+	for _, p := range paths {
+		n := s.nodes[p]
+		e := snapshotEntry{Path: p, IsDir: n.isDir, Stripes: n.stripes}
+		if n.isDir {
+			for c := range n.children {
+				e.Childs = append(e.Childs, c)
+			}
+			sort.Strings(e.Childs)
+		} else {
+			e.Data = make([]byte, n.index.Size())
+			off := 0
+			for _, sl := range n.index.Resolve(0, n.index.Size()) {
+				m, err := s.store.ReadAt(sl.Ext, sl.Off, e.Data[off:off+int(sl.Len)])
+				if err != nil {
+					s.mu.RUnlock()
+					return fmt.Errorf("fsys: snapshot read %s: %w", p, err)
+				}
+				off += m
+			}
+		}
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{
+		Magic: snapshotMagic, Version: snapshotVersion,
+		Shard: s.name, Entries: len(entries),
+	}); err != nil {
+		return err
+	}
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreShard reconstructs a shard from a snapshot stream, allocating
+// fresh extents on a device of the given capacity. The restored shard
+// serves reads/writes exactly as the original (contents compact into new
+// extents — the log-structured cleaning step for free).
+func RestoreShard(r io.Reader, capacity int64) (*Shard, error) {
+	dec := gob.NewDecoder(r)
+	var h snapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("fsys: reading snapshot header: %w", err)
+	}
+	if h.Magic != snapshotMagic {
+		return nil, fmt.Errorf("fsys: not a shard snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != snapshotVersion {
+		return nil, fmt.Errorf("fsys: unsupported snapshot version %d", h.Version)
+	}
+	s := NewShard(h.Shard, capacity)
+	for i := 0; i < h.Entries; i++ {
+		var e snapshotEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("fsys: snapshot entry %d: %w", i, err)
+		}
+		if e.Path == "/" {
+			// Root exists already; just restore its children.
+			for _, c := range e.Childs {
+				if err := s.AddChild("/", c); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := s.CreateEntry(e.Path, e.IsDir, e.Stripes); err != nil {
+			return nil, fmt.Errorf("fsys: restoring %s: %w", e.Path, err)
+		}
+		if e.IsDir {
+			for _, c := range e.Childs {
+				if err := s.AddChild(e.Path, c); err != nil {
+					return nil, err
+				}
+			}
+		} else if len(e.Data) > 0 {
+			if _, err := s.Append(e.Path, e.Data); err != nil {
+				return nil, fmt.Errorf("fsys: restoring data of %s: %w", e.Path, err)
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,278 @@
+// Package jobtable implements the job status table maintained by each
+// ThemisIO server's job monitor (§4.1) and the table synchronization used
+// for λ-delayed global fairness (§3.1).
+//
+// Each server tracks the jobs it has heard from — via heartbeats or via
+// job metadata embedded in I/O requests — and marks a job inactive when no
+// heartbeat arrives for a configurable timeout. Every λ interval the
+// controllers all-gather their tables so that every server converges on
+// the global set of active jobs; a globally unfair token assignment
+// therefore lasts at most λ. Each entry also records the set of servers
+// where the job is I/O-active; a job present on k servers is deweighted by
+// 1/k on each (Figure 5's token-count reconciliation), so that its
+// aggregate share across the cluster matches the policy.
+package jobtable
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"themisio/internal/policy"
+)
+
+// Status of a job as seen by one server.
+type Status int
+
+const (
+	// Active means a heartbeat arrived within the timeout window.
+	Active Status = iota
+	// Inactive means the job has gone silent; its tokens are reclaimed.
+	Inactive
+)
+
+// String returns "active" or "inactive".
+func (s Status) String() string {
+	if s == Active {
+		return "active"
+	}
+	return "inactive"
+}
+
+// Entry is one row of the job status table.
+type Entry struct {
+	Info policy.JobInfo
+	// Last is the time of the most recent heartbeat (or embedded-metadata
+	// sighting) for the job, in the owning clock's domain.
+	Last time.Duration
+	// Servers is the set of server ids on which the job has been observed
+	// doing I/O. Populated locally by Observe and unioned during Merge.
+	Servers map[string]bool
+	// Demand counts I/O requests observed from the job since creation;
+	// used only for reporting.
+	Demand int64
+}
+
+func (e *Entry) clone() Entry {
+	cp := *e
+	cp.Servers = make(map[string]bool, len(e.Servers))
+	for s := range e.Servers {
+		cp.Servers[s] = true
+	}
+	return cp
+}
+
+// Table is a thread-safe job status table. Time is expressed as
+// time.Duration offsets from an arbitrary epoch so the table works
+// identically under the discrete-event simulator's virtual clock and the
+// live server's wall clock.
+type Table struct {
+	mu      sync.RWMutex
+	owner   string
+	entries map[string]*Entry
+	timeout time.Duration
+}
+
+// DefaultTimeout is the heartbeat expiry used when none is configured;
+// the paper uses "a predefined period of time", and production heartbeat
+// periods are O(seconds).
+const DefaultTimeout = 5 * time.Second
+
+// New returns an empty table owned by the named server, with the given
+// heartbeat timeout. A non-positive timeout selects DefaultTimeout.
+func New(owner string, timeout time.Duration) *Table {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Table{owner: owner, entries: make(map[string]*Entry), timeout: timeout}
+}
+
+// Owner returns the server id that owns this table.
+func (t *Table) Owner() string { return t.owner }
+
+// Timeout returns the heartbeat expiry window.
+func (t *Table) Timeout() time.Duration { return t.timeout }
+
+// Heartbeat records a liveness sighting of the job at time now, inserting
+// the job if it is new. Heartbeats assert liveness but not I/O activity on
+// this server, so they do not extend Servers. Returns true if the active
+// job set changed (new job, or stale job revived).
+func (t *Table) Heartbeat(info policy.JobInfo, now time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.touch(info, now, false)
+}
+
+// Observe records that an I/O request from the job arrived at time now on
+// this server. Embedded job metadata counts as a liveness signal, exactly
+// as in the paper where servers learn job state "purely based on real-time
+// I/O behavior". Returns true if the active set changed.
+func (t *Table) Observe(info policy.JobInfo, now time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := t.touch(info, now, true)
+	t.entries[info.JobID].Demand++
+	return changed
+}
+
+// touch implements Heartbeat/Observe under t.mu.
+func (t *Table) touch(info policy.JobInfo, now time.Duration, io bool) bool {
+	e, ok := t.entries[info.JobID]
+	if !ok {
+		e = &Entry{Info: info, Last: now, Servers: map[string]bool{}}
+		if io {
+			e.Servers[t.owner] = true
+		}
+		t.entries[info.JobID] = e
+		return true
+	}
+	changed := now-e.Last > t.timeout // stale → active counts as a change
+	pres := e.Info.Presence
+	e.Info = info
+	e.Info.Presence = pres // presence is derived, not client-supplied
+	if now > e.Last {
+		e.Last = now
+	}
+	if io && !e.Servers[t.owner] {
+		e.Servers[t.owner] = true
+		changed = true
+	}
+	return changed
+}
+
+// Active returns the jobs whose last heartbeat is within the timeout as of
+// now, sorted by JobID, with Presence set to the size of each job's
+// observed server set (minimum 1).
+func (t *Table) Active(now time.Duration) []policy.JobInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []policy.JobInfo
+	for _, e := range t.entries {
+		if now-e.Last <= t.timeout {
+			info := e.Info
+			info.Presence = len(e.Servers)
+			if info.Presence < 1 {
+				info.Presence = 1
+			}
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// StatusOf returns the job's status as of now and whether it is known.
+func (t *Table) StatusOf(jobID string, now time.Duration) (Status, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[jobID]
+	if !ok {
+		return Inactive, false
+	}
+	if now-e.Last <= t.timeout {
+		return Active, true
+	}
+	return Inactive, true
+}
+
+// Expire removes entries whose heartbeat age exceeds keep (defaulting to
+// 4× the timeout when keep <= 0) and returns the number removed. The live
+// server destroys the expired jobs' connection mappings when this fires
+// (§4.2).
+func (t *Table) Expire(now, keep time.Duration) int {
+	if keep <= 0 {
+		keep = 4 * t.timeout
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, e := range t.entries {
+		if now-e.Last > keep {
+			delete(t.entries, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes the job outright (client notified exit, §4.2).
+func (t *Table) Remove(jobID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, jobID)
+}
+
+// Len returns the number of entries (active or not).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Snapshot returns a deep copy of all entries, sorted by JobID. This is
+// what a controller sends to its peers during the λ all-gather.
+func (t *Table) Snapshot() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.JobID < out[j].Info.JobID })
+	return out
+}
+
+// Merge folds a peer snapshot into the table: new jobs are learned,
+// fresher heartbeats win, and server sets are unioned (the token-count
+// addition of Figure 5). Returns true if the active set or any presence
+// changed as of now.
+func (t *Table) Merge(snap []Entry, now time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := false
+	for i := range snap {
+		in := &snap[i]
+		e, ok := t.entries[in.Info.JobID]
+		if !ok {
+			cp := in.clone()
+			t.entries[in.Info.JobID] = &cp
+			changed = true
+			continue
+		}
+		if in.Last > e.Last {
+			wasStale := now-e.Last > t.timeout
+			e.Last = in.Last
+			if wasStale && now-e.Last <= t.timeout {
+				changed = true
+			}
+		}
+		for s := range in.Servers {
+			if !e.Servers[s] {
+				e.Servers[s] = true
+				changed = true
+			}
+		}
+		if in.Demand > e.Demand {
+			e.Demand = in.Demand
+		}
+	}
+	return changed
+}
+
+// AllGather performs the λ-interval synchronization across a set of
+// tables: every table merges every other table's snapshot. After the call
+// all tables agree on the global active job set and per-job presence.
+func AllGather(tables []*Table, now time.Duration) {
+	snaps := make([][]Entry, len(tables))
+	for i, t := range tables {
+		snaps[i] = t.Snapshot()
+	}
+	for i, t := range tables {
+		for j, snap := range snaps {
+			if i == j {
+				continue
+			}
+			t.Merge(snap, now)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package jobtable
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"themisio/internal/policy"
+)
+
+func info(id string, nodes int) policy.JobInfo {
+	return policy.JobInfo{JobID: id, UserID: "u-" + id, GroupID: "g", Nodes: nodes}
+}
+
+func TestHeartbeatInsertAndRefresh(t *testing.T) {
+	tb := New("s1", time.Second)
+	if !tb.Heartbeat(info("a", 4), 0) {
+		t.Fatal("first heartbeat should report a new job")
+	}
+	if tb.Heartbeat(info("a", 4), 500*time.Millisecond) {
+		t.Fatal("refresh within timeout should not report change")
+	}
+	if st, ok := tb.StatusOf("a", 700*time.Millisecond); !ok || st != Active {
+		t.Fatalf("status = %v/%v, want active", st, ok)
+	}
+	if st, _ := tb.StatusOf("a", 2*time.Second); st != Inactive {
+		t.Fatal("job should be inactive after timeout")
+	}
+	// A heartbeat after going stale counts as a change (job revived).
+	if !tb.Heartbeat(info("a", 4), 3*time.Second) {
+		t.Fatal("revival should report change")
+	}
+}
+
+func TestObserveTracksPresenceAndDemand(t *testing.T) {
+	tb := New("s1", time.Second)
+	tb.Observe(info("a", 4), 0)
+	tb.Observe(info("a", 4), time.Millisecond)
+	act := tb.Active(time.Millisecond)
+	if len(act) != 1 || act[0].Presence != 1 {
+		t.Fatalf("active = %+v, want presence 1", act)
+	}
+	snap := tb.Snapshot()
+	if snap[0].Demand != 2 {
+		t.Fatalf("demand = %d, want 2", snap[0].Demand)
+	}
+	if !snap[0].Servers["s1"] {
+		t.Fatal("server set should contain the observing server")
+	}
+}
+
+func TestHeartbeatDoesNotExtendServers(t *testing.T) {
+	tb := New("s1", time.Second)
+	tb.Heartbeat(info("a", 4), 0)
+	if len(tb.Snapshot()[0].Servers) != 0 {
+		t.Fatal("heartbeat alone should not mark I/O presence")
+	}
+}
+
+func TestActiveSortedAndFiltered(t *testing.T) {
+	tb := New("s1", time.Second)
+	tb.Observe(info("b", 1), 0)
+	tb.Observe(info("a", 2), 0)
+	tb.Observe(info("c", 3), 5*time.Second)
+	act := tb.Active(5 * time.Second)
+	if len(act) != 1 || act[0].JobID != "c" {
+		t.Fatalf("active at 5s = %+v, want only c", act)
+	}
+	act = tb.Active(5*time.Second + 500*time.Millisecond)
+	if len(act) != 1 || act[0].JobID != "c" {
+		t.Fatalf("active = %+v, want [c]", act)
+	}
+	// Sorted order with everything fresh.
+	tb2 := New("s1", time.Minute)
+	tb2.Observe(info("b", 1), 0)
+	tb2.Observe(info("a", 2), 0)
+	tb2.Observe(info("c", 3), 0)
+	act = tb2.Active(0)
+	if len(act) != 3 || act[0].JobID != "a" || act[1].JobID != "b" || act[2].JobID != "c" {
+		t.Fatalf("active = %+v, want sorted [a b c]", act)
+	}
+}
+
+func TestExpireAndRemove(t *testing.T) {
+	tb := New("s1", time.Second)
+	tb.Observe(info("a", 1), 0)
+	tb.Observe(info("b", 1), 10*time.Second)
+	if n := tb.Expire(10*time.Second, 0); n != 1 {
+		t.Fatalf("expired %d entries, want 1 (keep = 4x timeout)", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tb.Len())
+	}
+	tb.Remove("b")
+	if tb.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+// Figure 5's scenario: server1 sees jobs 1 (16 nodes) and 2 (8 nodes);
+// server2 sees jobs 1 and 3 (8 nodes). After the all-gather both servers
+// know all three jobs and job1's presence on two servers.
+func TestAllGatherFigure5(t *testing.T) {
+	s1 := New("s1", time.Second)
+	s2 := New("s2", time.Second)
+	s1.Observe(info("job1", 16), 0)
+	s1.Observe(info("job2", 8), 0)
+	s2.Observe(info("job1", 16), 0)
+	s2.Observe(info("job3", 8), 0)
+
+	AllGather([]*Table{s1, s2}, time.Millisecond)
+
+	for _, tb := range []*Table{s1, s2} {
+		act := tb.Active(time.Millisecond)
+		if len(act) != 3 {
+			t.Fatalf("%s active = %d jobs, want 3", tb.Owner(), len(act))
+		}
+		if act[0].JobID != "job1" || act[0].Presence != 2 {
+			t.Fatalf("%s job1 presence = %d, want 2", tb.Owner(), act[0].Presence)
+		}
+		if act[1].Presence != 1 || act[2].Presence != 1 {
+			t.Fatalf("%s jobs 2/3 presence = %d/%d, want 1/1", tb.Owner(), act[1].Presence, act[2].Presence)
+		}
+	}
+}
+
+func TestMergeKeepsFreshest(t *testing.T) {
+	s1 := New("s1", time.Second)
+	s2 := New("s2", time.Second)
+	s1.Observe(info("a", 1), 0)
+	s2.Observe(info("a", 1), 3*time.Second)
+	s1.Merge(s2.Snapshot(), 3*time.Second)
+	if st, _ := s1.StatusOf("a", 3*time.Second); st != Active {
+		t.Fatal("merge should revive the job with the fresher heartbeat")
+	}
+	// Merging an older snapshot must not regress.
+	old := []Entry{{Info: info("a", 1), Last: 0, Servers: map[string]bool{}}}
+	s1.Merge(old, 3*time.Second)
+	if st, _ := s1.StatusOf("a", 3*time.Second); st != Active {
+		t.Fatal("older snapshot regressed the heartbeat")
+	}
+}
+
+// Property: AllGather is idempotent and converges all tables to the same
+// active set in one round.
+func TestAllGatherConvergenceProperty(t *testing.T) {
+	f := func(assign []uint8) bool {
+		if len(assign) == 0 {
+			return true
+		}
+		if len(assign) > 60 {
+			assign = assign[:60]
+		}
+		const nServers = 4
+		tables := make([]*Table, nServers)
+		for i := range tables {
+			tables[i] = New("s"+string(rune('0'+i)), time.Second)
+		}
+		for jid, a := range assign {
+			// Each job lands on 1–2 servers derived from its seed byte.
+			s1 := int(a) % nServers
+			s2 := int(a/4) % nServers
+			id := "j" + itoa(jid)
+			tables[s1].Observe(policy.JobInfo{JobID: id, UserID: "u", Nodes: 1}, 0)
+			tables[s2].Observe(policy.JobInfo{JobID: id, UserID: "u", Nodes: 1}, 0)
+		}
+		AllGather(tables, time.Millisecond)
+		ref := tables[0].Active(time.Millisecond)
+		for _, tb := range tables[1:] {
+			act := tb.Active(time.Millisecond)
+			if len(act) != len(ref) {
+				return false
+			}
+			for i := range act {
+				if act[i].JobID != ref[i].JobID || act[i].Presence != ref[i].Presence {
+					return false
+				}
+			}
+		}
+		// Idempotence.
+		AllGather(tables, time.Millisecond)
+		again := tables[0].Active(time.Millisecond)
+		if len(again) != len(ref) {
+			return false
+		}
+		for i := range again {
+			if again[i].Presence != ref[i].Presence {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

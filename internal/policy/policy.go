@@ -1,0 +1,349 @@
+// Package policy defines ThemisIO sharing policies and compiles them to
+// statistical token assignments (§2.2.2 and §3 of the paper).
+//
+// A policy is an ordered list of sharing-entity levels. Primitive policies
+// have a single level (job-fair, user-fair, size-fair, priority-fair);
+// composite policies chain levels, e.g. user-then-size-fair splits I/O
+// cycles evenly across users and then, within each user, in proportion to
+// job size. System administrators select the policy with a single string
+// parameter, parsed by Parse.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"themisio/internal/token"
+)
+
+// Level is one sharing-entity tier of a policy.
+type Level int
+
+const (
+	// LevelJob splits evenly across jobs in scope.
+	LevelJob Level = iota
+	// LevelUser splits evenly across users in scope.
+	LevelUser
+	// LevelGroup splits evenly across groups in scope.
+	LevelGroup
+	// LevelSize splits across jobs in scope proportionally to node count.
+	LevelSize
+	// LevelPriority splits across jobs in scope proportionally to priority.
+	LevelPriority
+)
+
+// String returns the canonical name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelJob:
+		return "job"
+	case LevelUser:
+		return "user"
+	case LevelGroup:
+		return "group"
+	case LevelSize:
+		return "size"
+	case LevelPriority:
+		return "priority"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// terminal reports whether the level distributes directly to jobs (and must
+// therefore be the last level of a policy).
+func (l Level) terminal() bool {
+	return l == LevelJob || l == LevelSize || l == LevelPriority
+}
+
+// Policy is an ordered chain of sharing levels. The zero value is not
+// valid; use Parse or one of the predefined policies.
+type Policy struct {
+	Levels []Level
+	// FIFO marks the degenerate no-fairness policy used as the baseline.
+	FIFO bool
+}
+
+// Predefined policies matching the paper's terminology.
+var (
+	FIFO              = Policy{FIFO: true}
+	JobFair           = Policy{Levels: []Level{LevelJob}}
+	UserFair          = Policy{Levels: []Level{LevelUser, LevelJob}}
+	SizeFair          = Policy{Levels: []Level{LevelSize}}
+	PriorityFair      = Policy{Levels: []Level{LevelPriority}}
+	UserThenJobFair   = Policy{Levels: []Level{LevelUser, LevelJob}}
+	UserThenSizeFair  = Policy{Levels: []Level{LevelUser, LevelSize}}
+	GroupUserSizeFair = Policy{Levels: []Level{LevelGroup, LevelUser, LevelSize}}
+)
+
+// String renders the policy in the paper's notation, e.g.
+// "group-then-user-then-size-fair".
+func (p Policy) String() string {
+	if p.FIFO {
+		return "fifo"
+	}
+	names := make([]string, len(p.Levels))
+	for i, l := range p.Levels {
+		names[i] = l.String()
+	}
+	return strings.Join(names, "-then-") + "-fair"
+}
+
+// Parse parses a policy string. Accepted forms:
+//
+//	"fifo"
+//	"job-fair", "user-fair", "size-fair", "priority-fair"
+//	"user-then-size-fair", "group-then-user-then-size-fair"
+//	"group-user-size-fair" (the paper's abbreviated composite form)
+//
+// Non-terminal levels (user, group) are implicitly completed with a final
+// job level, matching the paper: "user-fair" splits across users and then
+// evenly across each user's jobs.
+func Parse(s string) (Policy, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return Policy{}, fmt.Errorf("policy: empty policy string")
+	}
+	if s == "fifo" {
+		return FIFO, nil
+	}
+	base := strings.TrimSuffix(s, "-fair")
+	if base == s {
+		return Policy{}, fmt.Errorf("policy: %q does not end in -fair", s)
+	}
+	base = strings.ReplaceAll(base, "-then-", "-")
+	parts := strings.Split(base, "-")
+	var levels []Level
+	for i, part := range parts {
+		var l Level
+		switch part {
+		case "job":
+			l = LevelJob
+		case "user":
+			l = LevelUser
+		case "group":
+			l = LevelGroup
+		case "size":
+			l = LevelSize
+		case "priority":
+			l = LevelPriority
+		default:
+			return Policy{}, fmt.Errorf("policy: unknown level %q in %q", part, s)
+		}
+		if l.terminal() && i != len(parts)-1 {
+			return Policy{}, fmt.Errorf("policy: level %q must be last in %q", part, s)
+		}
+		levels = append(levels, l)
+	}
+	if !levels[len(levels)-1].terminal() {
+		levels = append(levels, LevelJob)
+	}
+	return Policy{Levels: levels}, nil
+}
+
+// JobInfo is the job metadata embedded in every I/O request by the client
+// (§4.1): everything the controller needs to evaluate any policy.
+type JobInfo struct {
+	JobID    string
+	UserID   string
+	GroupID  string
+	Nodes    int // job size in compute nodes
+	Priority int // scheduler priority; used by priority-fair
+	// Presence is the number of burst-buffer servers on which the job is
+	// I/O-active, learned from the λ-interval job-table all-gather. A job
+	// with files striped over k servers draws its fair share from k pools,
+	// so each server deweights it by 1/k — this is the "adding token
+	// counts" step in Figure 5 that restores *global* fairness. Zero means
+	// unknown and is treated as 1.
+	Presence int
+}
+
+// Key returns the identity key of the job.
+func (j JobInfo) Key() string { return j.JobID }
+
+// weight returns the job's weight under a terminal level, deweighted by
+// the job's server presence so that multi-server jobs receive a globally
+// (not per-server) fair share.
+func (j JobInfo) weight(l Level) float64 {
+	w := 1.0
+	switch l {
+	case LevelSize:
+		if j.Nodes > 0 {
+			w = float64(j.Nodes)
+		}
+	case LevelPriority:
+		if j.Priority > 0 {
+			w = float64(j.Priority)
+		}
+	}
+	if j.Presence > 1 {
+		w /= float64(j.Presence)
+	}
+	return w
+}
+
+// scopeKey returns the identity of the scope a job belongs to at a
+// non-terminal level.
+func (j JobInfo) scopeKey(l Level) string {
+	switch l {
+	case LevelUser:
+		return j.UserID
+	case LevelGroup:
+		return j.GroupID
+	}
+	return j.JobID
+}
+
+// Compiled is the result of compiling a policy against a set of active
+// jobs: the transition-matrix chain (for inspection and testing) and the
+// resulting segment assignment.
+type Compiled struct {
+	Policy     Policy
+	Chain      []*token.Matrix
+	Product    *token.Matrix
+	Assignment *token.Assignment
+}
+
+// scope is an internal node of the sharing tree during compilation.
+type scope struct {
+	key  string
+	jobs []JobInfo
+}
+
+// Compile builds the transition-matrix chain for the policy over the given
+// jobs and evaluates Equation 1 of the paper, producing the statistical
+// token assignment. Jobs are sorted by JobID for deterministic segment
+// layout. Compiling a FIFO policy or an empty job set returns an
+// assignment with no segments.
+func Compile(jobs []JobInfo, p Policy) (*Compiled, error) {
+	c := &Compiled{Policy: p}
+	if p.FIFO || len(jobs) == 0 {
+		a, err := token.FromWeights(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.Assignment = a
+		return c, nil
+	}
+	sorted := make([]JobInfo, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].JobID < sorted[k].JobID })
+
+	scopes := []scope{{key: "root", jobs: sorted}}
+	for li, level := range p.Levels {
+		last := li == len(p.Levels)-1
+		var m *token.Matrix
+		var next []scope
+		if last {
+			m, next = terminalMatrix(scopes, level)
+		} else {
+			m, next = partitionMatrix(scopes, level)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("policy: level %d (%s): %w", li, level, err)
+		}
+		c.Chain = append(c.Chain, m)
+		scopes = next
+	}
+	prod, err := token.ChainProduct(c.Chain)
+	if err != nil {
+		return nil, err
+	}
+	c.Product = prod
+	a, err := token.FromRowVector(prod)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	c.Assignment = a
+	return c, nil
+}
+
+// partitionMatrix builds the transition matrix for a non-terminal level:
+// each row is a parent scope, each column a child scope (a distinct user or
+// group within the parent), with equal shares across children.
+func partitionMatrix(scopes []scope, level Level) (*token.Matrix, []scope) {
+	var next []scope
+	type cell struct{ row, col int }
+	var cells []cell
+	for r, sc := range scopes {
+		order := []string{}
+		byKey := map[string][]JobInfo{}
+		for _, j := range sc.jobs {
+			k := j.scopeKey(level)
+			if _, ok := byKey[k]; !ok {
+				order = append(order, k)
+			}
+			byKey[k] = append(byKey[k], j)
+		}
+		sort.Strings(order)
+		for _, k := range order {
+			col := len(next)
+			next = append(next, scope{key: sc.key + "/" + k, jobs: byKey[k]})
+			cells = append(cells, cell{row: r, col: col})
+		}
+	}
+	m := token.NewMatrix(len(scopes), len(next))
+	for r, sc := range scopes {
+		m.RowLabels = append(m.RowLabels, sc.key)
+		_ = r
+	}
+	for _, sc := range next {
+		m.ColLabels = append(m.ColLabels, sc.key)
+	}
+	// Count children per row, then assign the equal share.
+	childCount := make([]int, len(scopes))
+	for _, c := range cells {
+		childCount[c.row]++
+	}
+	for _, c := range cells {
+		m.Set(c.row, c.col, 1/float64(childCount[c.row]))
+	}
+	return m, next
+}
+
+// terminalMatrix builds the final transition matrix: each row is a scope,
+// each column a job, with shares proportional to the job's weight under the
+// terminal level (1 for job-fair, node count for size-fair, priority for
+// priority-fair).
+func terminalMatrix(scopes []scope, level Level) (*token.Matrix, []scope) {
+	totalJobs := 0
+	for _, sc := range scopes {
+		totalJobs += len(sc.jobs)
+	}
+	m := token.NewMatrix(len(scopes), totalJobs)
+	col := 0
+	for r, sc := range scopes {
+		m.RowLabels = append(m.RowLabels, sc.key)
+		sum := 0.0
+		for _, j := range sc.jobs {
+			sum += j.weight(level)
+		}
+		for _, j := range sc.jobs {
+			m.ColLabels = append(m.ColLabels, j.JobID)
+			w := j.weight(level)
+			if sum > 0 {
+				m.Set(r, col, w/sum)
+			}
+			col++
+		}
+		_ = r
+	}
+	return m, nil
+}
+
+// Shares is a convenience wrapper returning the per-job share map for a
+// policy over a job set.
+func Shares(jobs []JobInfo, p Policy) (map[string]float64, error) {
+	c, err := Compile(jobs, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(jobs))
+	for _, j := range jobs {
+		out[j.JobID] = c.Assignment.Share(j.JobID)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func j(id, user, group string, nodes int) JobInfo {
+	return JobInfo{JobID: id, UserID: user, GroupID: group, Nodes: nodes}
+}
+
+func TestParsePrimitives(t *testing.T) {
+	cases := map[string]string{
+		"fifo":          "fifo",
+		"job-fair":      "job-fair",
+		"size-fair":     "size-fair",
+		"priority-fair": "priority-fair",
+		"user-fair":     "user-then-job-fair",
+		"USER-FAIR":     "user-then-job-fair",
+	}
+	for in, want := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if p.String() != want {
+			t.Fatalf("Parse(%q) = %s, want %s", in, p, want)
+		}
+	}
+}
+
+func TestParseComposites(t *testing.T) {
+	cases := map[string]string{
+		"user-then-size-fair":            "user-then-size-fair",
+		"group-then-user-then-size-fair": "group-then-user-then-size-fair",
+		"group-user-size-fair":           "group-then-user-then-size-fair",
+		"group-then-user-fair":           "group-then-user-then-job-fair",
+	}
+	for in, want := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if p.String() != want {
+			t.Fatalf("Parse(%q) = %s, want %s", in, p, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "bogus", "job", "size-then-user-fair", "wat-fair", "job-then-size-fair"} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestCompileJobFair(t *testing.T) {
+	jobs := []JobInfo{j("a", "u1", "g1", 4), j("b", "u2", "g1", 1)}
+	sh, err := Shares(jobs, JobFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sh["a"]-0.5) > 1e-12 || math.Abs(sh["b"]-0.5) > 1e-12 {
+		t.Fatalf("job-fair shares = %v, want 0.5 each", sh)
+	}
+}
+
+func TestCompileSizeFair(t *testing.T) {
+	jobs := []JobInfo{j("a", "u1", "g1", 4), j("b", "u2", "g1", 1)}
+	sh, _ := Shares(jobs, SizeFair)
+	if math.Abs(sh["a"]-0.8) > 1e-12 || math.Abs(sh["b"]-0.2) > 1e-12 {
+		t.Fatalf("size-fair shares = %v, want 0.8/0.2", sh)
+	}
+}
+
+func TestCompilePriorityFair(t *testing.T) {
+	jobs := []JobInfo{
+		{JobID: "a", UserID: "u", Priority: 3},
+		{JobID: "b", UserID: "u", Priority: 1},
+	}
+	sh, _ := Shares(jobs, PriorityFair)
+	if math.Abs(sh["a"]-0.75) > 1e-12 {
+		t.Fatalf("priority-fair shares = %v, want a=0.75", sh)
+	}
+}
+
+// The paper's Figure 3(b): two users, one with two jobs, one with four;
+// user-then-job-fair gives the first user's jobs 1/4 each and the second
+// user's jobs 1/8 each.
+func TestCompileUserThenJobFairFigure3(t *testing.T) {
+	jobs := []JobInfo{
+		j("j1", "u1", "g", 1), j("j2", "u1", "g", 1),
+		j("j3", "u2", "g", 1), j("j4", "u2", "g", 1), j("j5", "u2", "g", 1), j("j6", "u2", "g", 1),
+	}
+	sh, _ := Shares(jobs, UserThenJobFair)
+	for _, id := range []string{"j1", "j2"} {
+		if math.Abs(sh[id]-0.25) > 1e-12 {
+			t.Fatalf("share(%s) = %g, want 0.25", id, sh[id])
+		}
+	}
+	for _, id := range []string{"j3", "j4", "j5", "j6"} {
+		if math.Abs(sh[id]-0.125) > 1e-12 {
+			t.Fatalf("share(%s) = %g, want 0.125", id, sh[id])
+		}
+	}
+}
+
+// Figure 9's configuration: user1 jobs of 1 and 2 nodes; user2 jobs of 4
+// and 6 nodes. User split 50/50, then size split within user.
+func TestCompileUserThenSizeFairFigure9(t *testing.T) {
+	jobs := []JobInfo{
+		j("j1", "u1", "g", 1), j("j2", "u1", "g", 2),
+		j("j3", "u2", "g", 4), j("j4", "u2", "g", 6),
+	}
+	sh, _ := Shares(jobs, UserThenSizeFair)
+	want := map[string]float64{
+		"j1": 0.5 * 1.0 / 3, "j2": 0.5 * 2.0 / 3,
+		"j3": 0.5 * 4.0 / 10, "j4": 0.5 * 6.0 / 10,
+	}
+	for id, w := range want {
+		if math.Abs(sh[id]-w) > 1e-12 {
+			t.Fatalf("share(%s) = %g, want %g", id, sh[id], w)
+		}
+	}
+}
+
+// Figure 10/11's configuration: group1{user1: 1 job}, group2{user2: jobs
+// 2,3,2 nodes; user3: 3,2; user4: 1,2}.
+func TestCompileGroupUserSizeFairFigure10(t *testing.T) {
+	jobs := []JobInfo{
+		j("j1", "u1", "g1", 1),
+		j("j2", "u2", "g2", 2), j("j3", "u2", "g2", 3), j("j4", "u2", "g2", 2),
+		j("j5", "u3", "g2", 3), j("j6", "u3", "g2", 2),
+		j("j7", "u4", "g2", 1), j("j8", "u4", "g2", 2),
+	}
+	sh, _ := Shares(jobs, GroupUserSizeFair)
+	if math.Abs(sh["j1"]-0.5) > 1e-12 {
+		t.Fatalf("group1's only job should get 50%%, got %g", sh["j1"])
+	}
+	// user2 gets 1/6 of the total; its jobs split 2:3:2.
+	if math.Abs(sh["j3"]-0.5/3*3/7) > 1e-12 {
+		t.Fatalf("share(j3) = %g, want %g", sh["j3"], 0.5/3*3/7)
+	}
+	// Sum of all shares is 1.
+	total := 0.0
+	for _, v := range sh {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", total)
+	}
+}
+
+// Presence deweighting: a job active on 2 servers counts half on each.
+func TestCompilePresenceDeweighting(t *testing.T) {
+	jobs := []JobInfo{
+		{JobID: "a", UserID: "u1", Nodes: 16, Presence: 2},
+		{JobID: "b", UserID: "u2", Nodes: 8, Presence: 1},
+	}
+	sh, _ := Shares(jobs, SizeFair)
+	if math.Abs(sh["a"]-0.5) > 1e-12 || math.Abs(sh["b"]-0.5) > 1e-12 {
+		t.Fatalf("presence-deweighted shares = %v, want 0.5/0.5", sh)
+	}
+}
+
+func TestCompileFIFOAndEmpty(t *testing.T) {
+	c, err := Compile(nil, SizeFair)
+	if err != nil || len(c.Assignment.Segments) != 0 {
+		t.Fatalf("empty job set: %v %v", c, err)
+	}
+	c, err = Compile([]JobInfo{j("a", "u", "g", 1)}, FIFO)
+	if err != nil || len(c.Assignment.Segments) != 0 {
+		t.Fatalf("FIFO policy: %v %v", c, err)
+	}
+}
+
+// Every chain matrix of a compiled policy satisfies the structural
+// invariants, and the product is a valid assignment summing to 1 —
+// property-checked over random job populations.
+func TestCompileChainInvariantsProperty(t *testing.T) {
+	pols := []Policy{JobFair, SizeFair, UserFair, UserThenSizeFair, GroupUserSizeFair}
+	f := func(seedJobs []uint32) bool {
+		if len(seedJobs) == 0 {
+			return true
+		}
+		if len(seedJobs) > 40 {
+			seedJobs = seedJobs[:40]
+		}
+		var jobs []JobInfo
+		for i, s := range seedJobs {
+			jobs = append(jobs, JobInfo{
+				JobID:   "job" + itoa(i),
+				UserID:  "user" + itoa(int(s%5)),
+				GroupID: "grp" + itoa(int(s/5%3)),
+				Nodes:   int(s%64) + 1,
+			})
+		}
+		for _, p := range pols {
+			c, err := Compile(jobs, p)
+			if err != nil {
+				return false
+			}
+			for _, m := range c.Chain {
+				if m.Validate() != nil {
+					return false
+				}
+			}
+			if c.Assignment.Validate() != nil {
+				return false
+			}
+			total := 0.0
+			for _, s := range c.Assignment.Segments {
+				total += s.Width()
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Composite-policy identity: when every job has a distinct user,
+// user-then-job-fair degenerates to job-fair.
+func TestUserFairDegeneratesToJobFair(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%10) + 2
+		var jobs []JobInfo
+		for i := 0; i < count; i++ {
+			jobs = append(jobs, j("job"+itoa(i), "user"+itoa(i), "g", i+1))
+		}
+		a, _ := Shares(jobs, UserFair)
+		b, _ := Shares(jobs, JobFair)
+		for id := range a {
+			if math.Abs(a[id]-b[id]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"time"
+
+	"themisio/internal/policy"
+)
+
+// FIFO serves requests strictly in arrival order — the production-system
+// default whose head-of-line blocking is the root cause of the I/O
+// interference the paper measures (§2.2.1): "highly concurrent and bursty
+// I/O traffic from one application can saturate the I/O system's queue,
+// then block the I/O of another application".
+type FIFO struct {
+	items []*Request
+	head  int
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Push implements Scheduler.
+func (f *FIFO) Push(r *Request) { f.items = append(f.items, r) }
+
+// Pop implements Scheduler. FIFO deliberately ignores the allow filter:
+// its workers take requests strictly in arrival order, so a request for a
+// saturated path blocks everything behind it (§2.2.1).
+func (f *FIFO) Pop(now time.Duration, allow AllowFunc) *Request {
+	if f.head >= len(f.items) {
+		return nil
+	}
+	r := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return r
+}
+
+// Pending implements Scheduler.
+func (f *FIFO) Pending() int { return len(f.items) - f.head }
+
+// SetJobs implements Scheduler; FIFO ignores job state entirely.
+func (f *FIFO) SetJobs(jobs []policy.JobInfo) {}

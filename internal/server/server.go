@@ -1,0 +1,337 @@
+// Package server implements the live (goroutine + socket) ThemisIO
+// server of §4.1: a communicator accepting client connections and
+// grouping requests into per-job queues, a job monitor tracking
+// heartbeats, a controller recompiling token assignments and
+// synchronizing job tables with peer servers every λ, and a worker pool
+// drawing statistical tokens and executing requests against the
+// user-space file system.
+//
+// The live server shares the scheduler (package core), job table, policy
+// compiler and storage substrate with the discrete-event simulator; only
+// the serving plane differs (real goroutines and sockets instead of a
+// virtual clock).
+package server
+
+import (
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"themisio/internal/core"
+	"themisio/internal/fsys"
+	"themisio/internal/jobtable"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/transport"
+)
+
+// Config parameterizes a live server.
+type Config struct {
+	// Policy is the sharing policy (default size-fair, the paper's
+	// recommended production setting).
+	Policy policy.Policy
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// Capacity is the storage device size in bytes (default 256 MiB).
+	Capacity int64
+	// Lambda is the job-table sync interval with peers (default 500 ms).
+	Lambda time.Duration
+	// HeartbeatTimeout marks jobs inactive (default jobtable default).
+	HeartbeatTimeout time.Duration
+	// Seed fixes the statistical token stream.
+	Seed int64
+	// OpDelay emulates per-request device time (the RAM-backed store is
+	// otherwise far faster than any real device, so a saturated-queue
+	// regime — the only regime where fairness matters — would be
+	// unreachable in tests). Zero disables it.
+	OpDelay time.Duration
+	// Peers are the addresses of other servers for λ-sync.
+	Peers []string
+	// Quiet disables logging.
+	Quiet bool
+}
+
+// Server is a live ThemisIO server instance.
+type Server struct {
+	cfg    Config
+	sched  *core.Themis
+	table  *jobtable.Table
+	shard  *fsys.Shard
+	router *fsys.Router
+	start  time.Time
+
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	notEmpty chan struct{}
+
+	served atomic.Int64
+}
+
+// New creates a server bound to the listener.
+func New(ln net.Listener, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256 << 20
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 500 * time.Millisecond
+	}
+	if len(cfg.Policy.Levels) == 0 && !cfg.Policy.FIFO {
+		cfg.Policy = policy.SizeFair
+	}
+	shard := fsys.NewShard(ln.Addr().String(), cfg.Capacity)
+	s := &Server{
+		cfg:      cfg,
+		sched:    core.New(cfg.Policy, cfg.Seed),
+		table:    jobtable.New(ln.Addr().String(), cfg.HeartbeatTimeout),
+		shard:    shard,
+		router:   fsys.NewRouter([]*fsys.Shard{shard}, 1, 0),
+		start:    time.Now(),
+		ln:       ln,
+		notEmpty: make(chan struct{}, 1),
+	}
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Served returns the number of requests executed.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Scheduler exposes the Themis scheduler for inspection (themisctl).
+func (s *Server) Scheduler() *core.Themis { return s.sched }
+
+// now returns time since server start (the jobtable clock domain).
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+// Serve runs the accept loop, workers, and controller until Close.
+func (s *Server) Serve() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.controller()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			if !s.cfg.Quiet {
+				log.Printf("themisd: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.handleConn(transport.NewConn(conn))
+	}
+}
+
+// Close stops the server and waits for goroutines.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// handleConn is the communicator: it decodes requests, feeds the job
+// monitor, and enqueues scheduler work tagged with the reply path.
+func (s *Server) handleConn(c *transport.Conn) {
+	defer s.wg.Done()
+	defer c.Close()
+	for {
+		req, err := c.RecvRequest()
+		if err != nil {
+			return
+		}
+		switch req.Type {
+		case transport.MsgBye:
+			return
+		case transport.MsgHeartbeat:
+			s.table.Heartbeat(req.Job, s.now())
+			s.sched.SetJobs(s.table.Active(s.now()))
+			continue
+		case transport.MsgSync:
+			// Peer server table merge (the receive side of the λ
+			// all-gather).
+			s.table.Merge(req.Table, s.now())
+			s.sched.SetJobs(s.table.Active(s.now()))
+			continue
+		}
+		s.table.Observe(req.Job, s.now())
+		s.sched.SetJobs(s.table.Active(s.now()))
+		r := &sched.Request{
+			Job:    req.Job,
+			Op:     opOf(req.Type),
+			Bytes:  reqBytes(req),
+			Arrive: s.now(),
+			Tag:    &pending{req: req, conn: c},
+		}
+		s.sched.Push(r)
+		select {
+		case s.notEmpty <- struct{}{}:
+		default:
+		}
+	}
+}
+
+type pending struct {
+	req  *transport.Request
+	conn *transport.Conn
+}
+
+func opOf(t transport.MsgType) sched.Op {
+	switch t {
+	case transport.MsgRead:
+		return sched.OpRead
+	case transport.MsgWrite:
+		return sched.OpWrite
+	case transport.MsgOpen, transport.MsgCreate:
+		return sched.OpOpen
+	case transport.MsgStat:
+		return sched.OpStat
+	case transport.MsgMkdir:
+		return sched.OpMkdir
+	case transport.MsgReaddir:
+		return sched.OpReaddir
+	case transport.MsgUnlink:
+		return sched.OpUnlink
+	}
+	return sched.OpClose
+}
+
+func reqBytes(r *transport.Request) int64 {
+	switch r.Type {
+	case transport.MsgWrite:
+		return int64(len(r.Data))
+	case transport.MsgRead:
+		return r.Size
+	}
+	return 0
+}
+
+// worker pops one statistical token at a time and executes the chosen
+// request (§4.1: "each worker pops one token at a time and an I/O
+// request identified by the token, then processes the I/O request").
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for !s.closed.Load() {
+		r := s.sched.Pop(s.now(), nil)
+		if r == nil {
+			select {
+			case <-s.notEmpty:
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		p := r.Tag.(*pending)
+		if s.cfg.OpDelay > 0 {
+			time.Sleep(s.cfg.OpDelay)
+		}
+		resp := s.execute(p.req)
+		s.served.Add(1)
+		if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
+			log.Printf("themisd: reply: %v", err)
+		}
+	}
+}
+
+// execute runs one file-system operation.
+func (s *Server) execute(req *transport.Request) *transport.Response {
+	resp := &transport.Response{Seq: req.Seq}
+	fail := func(err error) *transport.Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Type {
+	case transport.MsgCreate:
+		if err := s.router.Create(req.Path); err != nil {
+			return fail(err)
+		}
+	case transport.MsgOpen:
+		if _, err := s.router.Stat(req.Path); err != nil {
+			return fail(err)
+		}
+	case transport.MsgWrite:
+		n, err := s.router.Write(req.Path, req.Data)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = int64(n)
+	case transport.MsgRead:
+		buf := make([]byte, req.Size)
+		n, err := s.router.ReadAt(req.Path, req.Offset, buf)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = int64(n)
+		resp.Data = buf[:n]
+	case transport.MsgStat:
+		fi, err := s.router.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Size = fi.Size
+		resp.IsDir = fi.IsDir
+		resp.Stripes = fi.Stripes
+	case transport.MsgMkdir:
+		if err := s.router.Mkdir(req.Path); err != nil {
+			return fail(err)
+		}
+	case transport.MsgReaddir:
+		names, err := s.router.Readdir(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Names = names
+	case transport.MsgUnlink:
+		if err := s.router.Unlink(req.Path); err != nil {
+			return fail(err)
+		}
+	}
+	return resp
+}
+
+// controller refreshes the scheduler's job view on heartbeat expiry and
+// pushes λ-interval table snapshots to peer servers.
+func (s *Server) controller() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.Lambda)
+	defer tick.Stop()
+	var peers []*transport.Conn
+	for !s.closed.Load() {
+		<-tick.C
+		if s.closed.Load() {
+			break
+		}
+		s.table.Expire(s.now(), 0)
+		s.sched.SetJobs(s.table.Active(s.now()))
+		// Lazy peer dial; a peer that is down is skipped this round.
+		if len(peers) != len(s.cfg.Peers) {
+			peers = peers[:0]
+			for _, addr := range s.cfg.Peers {
+				raw, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+				if err != nil {
+					continue
+				}
+				peers = append(peers, transport.NewConn(raw))
+			}
+		}
+		snap := s.table.Snapshot()
+		for _, p := range peers {
+			_ = p.SendRequest(&transport.Request{Type: transport.MsgSync, Table: snap})
+		}
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(2*time.Second, func() { got = append(got, 2) })
+	e.At(1*time.Second, func() { got = append(got, 1) })
+	e.At(3*time.Second, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events reordered: %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic scheduling in the past")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestAfterNesting(t *testing.T) {
+	e := New()
+	var fired time.Duration
+	e.After(time.Second, func() {
+		e.After(2*time.Second, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 3*time.Second {
+		t.Fatalf("nested After fired at %v, want 3s", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.At(time.Second, func() { fired = true })
+	tm.Stop()
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	// Stopping after firing is a no-op.
+	tm2 := e.At(2*time.Second, func() {})
+	e.Run()
+	tm2.Stop()
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	var times []time.Duration
+	tm := e.Every(time.Second, func() { times = append(times, e.Now()) })
+	e.RunUntil(3500 * time.Millisecond)
+	tm.Stop()
+	e.RunUntil(10 * time.Second)
+	if len(times) != 3 {
+		t.Fatalf("Every fired %d times (%v), want 3", len(times), times)
+	}
+	for i, at := range times {
+		if at != time.Duration(i+1)*time.Second {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestRunUntilLeavesClockAtDeadline(t *testing.T) {
+	e := New()
+	e.At(10*time.Second, func() {})
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if e.Pending() != 0 || e.Processed() != 1 {
+		t.Fatalf("pending/processed = %d/%d", e.Pending(), e.Processed())
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New().Every(0, func() {})
+}

@@ -1,0 +1,266 @@
+// Package token implements the statistical token design of ThemisIO (§3 of
+// the paper). A sharing policy is compiled into a probability segment on
+// [0, 1) per job by multiplying a chain of transition matrices, one per
+// sharing-entity level. An I/O worker draws a uniform random number and
+// serves the job whose segment contains it; draws over jobs with empty
+// queues are renormalised away, which is what makes the design
+// work-conserving ("opportunity fairness").
+package token
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Epsilon is the tolerance used when validating that matrix rows are
+// stochastic and that segment bounds tile [0, 1).
+const Epsilon = 1e-9
+
+// Matrix is a transition matrix T^i as defined in §3 of the paper. Each row
+// represents a token queue (a sharing scope at level i) and each column an
+// entity at the next level. Row sums are 1 and each column has at most one
+// non-zero entry, because an entity belongs to exactly one parent scope.
+type Matrix struct {
+	Rows, Cols int
+	// V is row-major: V[r*Cols + c].
+	V []float64
+	// RowLabels and ColLabels name the scopes/entities, for debugging and
+	// for the tree rendering used by the fig10/11 experiment.
+	RowLabels []string
+	ColLabels []string
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, V: make([]float64, rows*cols)}
+}
+
+// At returns the entry at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.V[r*m.Cols+c] }
+
+// Set assigns the entry at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.V[r*m.Cols+c] = v }
+
+// Validate checks the two structural invariants from the paper: every row
+// sums to one (each scope distributes its full share) and every column has
+// at most one non-zero entry (each entity has a single parent scope).
+func (m *Matrix) Validate() error {
+	for r := 0; r < m.Rows; r++ {
+		sum := 0.0
+		for c := 0; c < m.Cols; c++ {
+			v := m.At(r, c)
+			if v < 0 {
+				return fmt.Errorf("token: negative entry at (%d,%d): %g", r, c, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("token: row %d sums to %g, want 1", r, sum)
+		}
+	}
+	for c := 0; c < m.Cols; c++ {
+		nz := 0
+		for r := 0; r < m.Rows; r++ {
+			if m.At(r, c) != 0 {
+				nz++
+			}
+		}
+		if nz > 1 {
+			return fmt.Errorf("token: column %d has %d non-zero entries, want <=1", c, nz)
+		}
+	}
+	return nil
+}
+
+// Mul returns the matrix product m·n. It panics if the inner dimensions
+// disagree; the policy compiler always produces conformant chains.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("token: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	out.RowLabels = m.RowLabels
+	out.ColLabels = n.ColLabels
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < n.Cols; c++ {
+				out.V[r*out.Cols+c] += a * n.At(k, c)
+			}
+		}
+	}
+	return out
+}
+
+// ChainProduct multiplies the matrices in order (Equation 1 of the paper):
+// T⁰ · T¹ · … · Tᴺ⁻¹. The result of a well-formed policy chain is a 1×J row
+// vector of per-job probabilities.
+func ChainProduct(chain []*Matrix) (*Matrix, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("token: empty matrix chain")
+	}
+	acc := chain[0]
+	for i := 1; i < len(chain); i++ {
+		acc = acc.Mul(chain[i])
+	}
+	return acc, nil
+}
+
+// Segment is one job's slice of [0, 1).
+type Segment struct {
+	Lo, Hi float64
+	Job    string
+}
+
+// Width returns the probability mass of the segment.
+func (s Segment) Width() float64 { return s.Hi - s.Lo }
+
+// Assignment is the statistical token assignment: a tiling of [0, 1) by job
+// segments, in ascending order.
+type Assignment struct {
+	Segments []Segment
+	index    map[string]int
+}
+
+// FromWeights builds an assignment from per-job weights (not necessarily
+// normalised). Jobs with non-positive weight receive an empty segment.
+// The job order is preserved so that segment layout is deterministic.
+func FromWeights(jobs []string, weights []float64) (*Assignment, error) {
+	if len(jobs) != len(weights) {
+		return nil, fmt.Errorf("token: %d jobs but %d weights", len(jobs), len(weights))
+	}
+	if len(jobs) == 0 {
+		return &Assignment{index: map[string]int{}}, nil
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("token: negative weight %g for job %s", w, jobs[i])
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("token: all weights are zero")
+	}
+	a := &Assignment{index: make(map[string]int, len(jobs))}
+	lo := 0.0
+	for i, j := range jobs {
+		hi := lo + weights[i]/total
+		if i == len(jobs)-1 {
+			hi = 1.0 // absorb floating-point residue
+		}
+		a.Segments = append(a.Segments, Segment{Lo: lo, Hi: hi, Job: j})
+		a.index[j] = i
+		lo = hi
+	}
+	return a, nil
+}
+
+// FromRowVector builds an assignment from a 1×J chain product, using the
+// matrix column labels as job ids.
+func FromRowVector(m *Matrix) (*Assignment, error) {
+	if m.Rows != 1 {
+		return nil, fmt.Errorf("token: chain product has %d rows, want 1", m.Rows)
+	}
+	if len(m.ColLabels) != m.Cols {
+		return nil, fmt.Errorf("token: row vector missing column labels")
+	}
+	return FromWeights(m.ColLabels, m.V)
+}
+
+// Validate checks that segments tile [0, 1) without gaps or overlaps.
+func (a *Assignment) Validate() error {
+	if len(a.Segments) == 0 {
+		return nil
+	}
+	if math.Abs(a.Segments[0].Lo) > Epsilon {
+		return fmt.Errorf("token: first segment starts at %g", a.Segments[0].Lo)
+	}
+	for i := 1; i < len(a.Segments); i++ {
+		if math.Abs(a.Segments[i].Lo-a.Segments[i-1].Hi) > Epsilon {
+			return fmt.Errorf("token: gap between segment %d and %d", i-1, i)
+		}
+	}
+	last := a.Segments[len(a.Segments)-1]
+	if math.Abs(last.Hi-1) > Epsilon {
+		return fmt.Errorf("token: last segment ends at %g", last.Hi)
+	}
+	return nil
+}
+
+// Share returns the probability mass assigned to the given job, 0 if absent.
+func (a *Assignment) Share(job string) float64 {
+	if i, ok := a.index[job]; ok {
+		return a.Segments[i].Width()
+	}
+	return 0
+}
+
+// Jobs returns the job ids in segment order.
+func (a *Assignment) Jobs() []string {
+	out := make([]string, len(a.Segments))
+	for i, s := range a.Segments {
+		out[i] = s.Job
+	}
+	return out
+}
+
+// Lookup returns the job whose segment contains x ∈ [0, 1).
+func (a *Assignment) Lookup(x float64) (string, bool) {
+	if len(a.Segments) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(a.Segments), func(i int) bool { return a.Segments[i].Hi > x })
+	if i >= len(a.Segments) {
+		i = len(a.Segments) - 1
+	}
+	return a.Segments[i].Job, true
+}
+
+// PickEligible draws the statistical token conditioned on the eligible set:
+// jobs whose queues are non-empty. This implements opportunity fairness —
+// unused probability mass is, in effect, reassigned proportionally to jobs
+// that have work. rnd must return a uniform value in [0, 1).
+//
+// Zero-share eligible jobs (for example, a job that just appeared and has
+// not been through a λ-sync yet) are served only when no positive-share job
+// is eligible, which mirrors ThemisIO's behaviour of serving unknown jobs
+// from leftover cycles rather than starving them.
+func (a *Assignment) PickEligible(eligible func(job string) bool, rnd func() float64) (string, bool) {
+	total := 0.0
+	for _, s := range a.Segments {
+		if eligible(s.Job) {
+			total += s.Width()
+		}
+	}
+	if total <= 0 {
+		for _, s := range a.Segments {
+			if eligible(s.Job) {
+				return s.Job, true
+			}
+		}
+		return "", false
+	}
+	x := rnd() * total
+	acc := 0.0
+	for _, s := range a.Segments {
+		if !eligible(s.Job) {
+			continue
+		}
+		acc += s.Width()
+		if x < acc {
+			return s.Job, true
+		}
+	}
+	// Floating point residue: fall back to the last eligible segment.
+	for i := len(a.Segments) - 1; i >= 0; i-- {
+		if eligible(a.Segments[i].Job) {
+			return a.Segments[i].Job, true
+		}
+	}
+	return "", false
+}

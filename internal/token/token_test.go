@@ -1,0 +1,245 @@
+package token
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixValidateGood(t *testing.T) {
+	// The user-then-job-fair example of Figure 4: one root queue, two
+	// users, six jobs (2 + 4).
+	u := NewMatrix(1, 2)
+	u.Set(0, 0, 0.5)
+	u.Set(0, 1, 0.5)
+	if err := u.Validate(); err != nil {
+		t.Fatalf("user matrix: %v", err)
+	}
+	j := NewMatrix(2, 6)
+	j.Set(0, 0, 0.5)
+	j.Set(0, 1, 0.5)
+	for c := 2; c < 6; c++ {
+		j.Set(1, c, 0.25)
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatalf("job matrix: %v", err)
+	}
+	prod := u.Mul(j)
+	want := []float64{0.25, 0.25, 0.125, 0.125, 0.125, 0.125}
+	for c, w := range want {
+		if math.Abs(prod.At(0, c)-w) > 1e-12 {
+			t.Fatalf("product[%d] = %g, want %g", c, prod.At(0, c), w)
+		}
+	}
+}
+
+func TestMatrixValidateRowSum(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 0.6)
+	m.Set(0, 1, 0.6)
+	if err := m.Validate(); err == nil {
+		t.Fatal("want row-sum error")
+	}
+}
+
+func TestMatrixValidateColumnMultiParent(t *testing.T) {
+	m := NewMatrix(2, 1)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("want one-parent-per-column error")
+	}
+}
+
+func TestMatrixValidateNegative(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, -0.5)
+	m.Set(0, 1, 1.5)
+	if err := m.Validate(); err == nil {
+		t.Fatal("want negative-entry error")
+	}
+}
+
+func TestChainProductEmpty(t *testing.T) {
+	if _, err := ChainProduct(nil); err == nil {
+		t.Fatal("want error for empty chain")
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on dimension mismatch")
+		}
+	}()
+	NewMatrix(1, 2).Mul(NewMatrix(3, 1))
+}
+
+func TestFromWeightsBasic(t *testing.T) {
+	a, err := FromWeights([]string{"a", "b", "c"}, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Share("b"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("share(b) = %g, want 0.5", got)
+	}
+	if got := a.Share("missing"); got != 0 {
+		t.Fatalf("share(missing) = %g, want 0", got)
+	}
+}
+
+func TestFromWeightsErrors(t *testing.T) {
+	if _, err := FromWeights([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := FromWeights([]string{"a"}, []float64{-1}); err == nil {
+		t.Fatal("want negative-weight error")
+	}
+	if _, err := FromWeights([]string{"a", "b"}, []float64{0, 0}); err == nil {
+		t.Fatal("want all-zero error")
+	}
+	a, err := FromWeights(nil, nil)
+	if err != nil || len(a.Segments) != 0 {
+		t.Fatalf("empty input should give empty assignment, got %v %v", a, err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a, _ := FromWeights([]string{"a", "b"}, []float64{1, 3})
+	cases := []struct {
+		x    float64
+		want string
+	}{{0, "a"}, {0.2, "a"}, {0.25, "b"}, {0.7, "b"}, {0.999999, "b"}}
+	for _, c := range cases {
+		got, ok := a.Lookup(c.x)
+		if !ok || got != c.want {
+			t.Fatalf("Lookup(%g) = %q, want %q", c.x, got, c.want)
+		}
+	}
+	empty := &Assignment{}
+	if _, ok := empty.Lookup(0.5); ok {
+		t.Fatal("lookup on empty assignment should fail")
+	}
+}
+
+// PickEligible over all-eligible jobs converges to segment shares.
+func TestPickEligibleFrequencies(t *testing.T) {
+	a, _ := FromWeights([]string{"a", "b", "c"}, []float64{1, 2, 5})
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		j, ok := a.PickEligible(func(string) bool { return true }, rng.Float64)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		counts[j]++
+	}
+	for job, want := range map[string]float64{"a": 1.0 / 8, "b": 2.0 / 8, "c": 5.0 / 8} {
+		got := float64(counts[job]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("frequency(%s) = %.3f, want %.3f", job, got, want)
+		}
+	}
+}
+
+// Opportunity fairness: with one job ineligible its mass is redistributed
+// proportionally among the rest.
+func TestPickEligibleRenormalizes(t *testing.T) {
+	a, _ := FromWeights([]string{"a", "b", "c"}, []float64{1, 1, 2})
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		j, _ := a.PickEligible(func(s string) bool { return s != "c" }, rng.Float64)
+		counts[j]++
+	}
+	if counts["c"] != 0 {
+		t.Fatal("ineligible job was picked")
+	}
+	got := float64(counts["a"]) / n
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("frequency(a) = %.3f, want 0.5 after renormalization", got)
+	}
+}
+
+func TestPickEligibleNoneEligible(t *testing.T) {
+	a, _ := FromWeights([]string{"a"}, []float64{1})
+	if _, ok := a.PickEligible(func(string) bool { return false }, func() float64 { return 0 }); ok {
+		t.Fatal("pick should fail with no eligible jobs")
+	}
+}
+
+// Property: any set of positive weights yields a valid tiling of [0,1)
+// whose shares match the normalised weights.
+func TestFromWeightsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		jobs := make([]string, len(raw))
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			jobs[i] = string(rune('A' + i%26))
+			// rune collisions are fine: FromWeights keys by position for
+			// layout; Share sums only the last index, so make ids unique.
+			jobs[i] = jobs[i] + "-" + string(rune('0'+i%10)) + "-" + itoa(i)
+			weights[i] = float64(r%1000) + 1
+			total += weights[i]
+		}
+		a, err := FromWeights(jobs, weights)
+		if err != nil {
+			return false
+		}
+		if a.Validate() != nil {
+			return false
+		}
+		for i, j := range jobs {
+			if math.Abs(a.Share(j)-weights[i]/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lookup(x) always lands in the segment containing x.
+func TestLookupProperty(t *testing.T) {
+	a, _ := FromWeights([]string{"a", "b", "c", "d"}, []float64{3, 1, 4, 2})
+	f := func(xr uint32) bool {
+		x := float64(xr) / float64(math.MaxUint32+1.0)
+		job, ok := a.Lookup(x)
+		if !ok {
+			return false
+		}
+		for _, s := range a.Segments {
+			if s.Job == job {
+				return x >= s.Lo-Epsilon && x < s.Hi+Epsilon
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

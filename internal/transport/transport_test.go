@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"themisio/internal/jobtable"
+	"themisio/internal/policy"
+)
+
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+	want := &Request{
+		Type:   MsgWrite,
+		Seq:    42,
+		Job:    policy.JobInfo{JobID: "j", UserID: "u", GroupID: "g", Nodes: 8, Presence: 2},
+		Path:   "/data/x",
+		Offset: 1024,
+		Size:   4096,
+		Data:   []byte{1, 2, 3, 4},
+	}
+	done := make(chan *Request, 1)
+	go func() {
+		got, err := c2.RecvRequest()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	if err := c1.SendRequest(want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.Type != want.Type || got.Seq != want.Seq || got.Path != want.Path ||
+		got.Job != want.Job || got.Offset != want.Offset || string(got.Data) != string(want.Data) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestResponseRoundTripAndError(t *testing.T) {
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_ = c2.SendResponse(&Response{Seq: 7, Err: "fsys: no such file or directory"})
+	}()
+	got, err := c1.RecvResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.Error() == nil {
+		t.Fatalf("response: %+v", got)
+	}
+	ok := &Response{Seq: 8}
+	if ok.Error() != nil {
+		t.Fatal("empty Err should be nil error")
+	}
+}
+
+func TestSyncMessageCarriesJobTable(t *testing.T) {
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+	tb := jobtable.New("s1", 0)
+	tb.Observe(policy.JobInfo{JobID: "a", UserID: "u", Nodes: 16}, 0)
+	tb.Observe(policy.JobInfo{JobID: "b", UserID: "v", Nodes: 8}, 0)
+	snap := tb.Snapshot()
+	go func() {
+		_ = c1.SendRequest(&Request{Type: MsgSync, Table: snap})
+	}()
+	got, err := c2.RecvRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgSync || len(got.Table) != 2 {
+		t.Fatalf("sync message: %+v", got)
+	}
+	if !got.Table[0].Servers["s1"] {
+		t.Fatal("server set lost in transit")
+	}
+	// Merging the received snapshot works like a local all-gather.
+	tb2 := jobtable.New("s2", 0)
+	tb2.Merge(got.Table, 0)
+	act := tb2.Active(0)
+	if len(act) != 2 || act[0].Presence != 1 {
+		t.Fatalf("merge of wire snapshot: %+v", act)
+	}
+}
+
+// Concurrent senders on one conn must not interleave frames.
+func TestConcurrentSendersSerialize(t *testing.T) {
+	c1, c2 := pipePair()
+	defer c1.Close()
+	defer c2.Close()
+	const n = 200
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_ = c1.SendRequest(&Request{Type: MsgStat, Seq: uint64(i), Path: "/p"})
+			}(i)
+		}
+		wg.Wait()
+	}()
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		got, err := c2.RecvRequest()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if seen[got.Seq] {
+			t.Fatalf("duplicate seq %d", got.Seq)
+		}
+		seen[got.Seq] = true
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for m, want := range map[MsgType]string{
+		MsgOpen: "open", MsgCreate: "create", MsgRead: "read",
+		MsgWrite: "write", MsgSync: "sync", MsgHeartbeat: "heartbeat",
+	} {
+		if m.String() != want {
+			t.Fatalf("%d = %q, want %q", m, m.String(), want)
+		}
+	}
+	if MsgType(99).String() == "" {
+		t.Fatal("unknown type should render")
+	}
+}

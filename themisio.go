@@ -1,0 +1,81 @@
+package themisio
+
+import (
+	"net"
+	"time"
+
+	"themisio/internal/bb"
+	"themisio/internal/client"
+	"themisio/internal/core"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/server"
+)
+
+// Re-exported core types: the public API is a thin veneer over the
+// internal packages so that examples and downstream users share one
+// vocabulary with the implementation.
+type (
+	// Policy is a sharing policy (primitive or composite).
+	Policy = policy.Policy
+	// JobInfo is the job metadata embedded in every I/O request.
+	JobInfo = policy.JobInfo
+	// Scheduler is the pluggable request scheduler interface.
+	Scheduler = sched.Scheduler
+	// Themis is the statistical token scheduler.
+	Themis = core.Themis
+	// Client is the live POSIX-style client.
+	Client = client.Client
+	// Server is the live burst-buffer server.
+	Server = server.Server
+	// ServerConfig parameterizes a live server.
+	ServerConfig = server.Config
+	// Cluster is the discrete-event simulated burst buffer.
+	Cluster = bb.Cluster
+	// ClusterConfig parameterizes a simulated cluster.
+	ClusterConfig = bb.Config
+)
+
+// Predefined policies in the paper's notation.
+var (
+	FIFO              = policy.FIFO
+	JobFair           = policy.JobFair
+	UserFair          = policy.UserFair
+	SizeFair          = policy.SizeFair
+	PriorityFair      = policy.PriorityFair
+	UserThenSizeFair  = policy.UserThenSizeFair
+	GroupUserSizeFair = policy.GroupUserSizeFair
+)
+
+// ParsePolicy parses a policy string such as "size-fair" or
+// "group-then-user-then-size-fair".
+func ParsePolicy(s string) (Policy, error) { return policy.Parse(s) }
+
+// NewScheduler returns a Themis scheduler enforcing the policy with a
+// deterministic token stream.
+func NewScheduler(p Policy, seed int64) *Themis { return core.New(p, seed) }
+
+// NewServer creates a live server on the listener.
+func NewServer(ln net.Listener, cfg ServerConfig) *Server { return server.New(ln, cfg) }
+
+// Dial connects a client to live servers under the job identity.
+func Dial(job JobInfo, servers []string) (*Client, error) { return client.Dial(job, servers) }
+
+// NewCluster builds a simulated burst-buffer cluster.
+func NewCluster(cfg ClusterConfig) *Cluster { return bb.NewCluster(cfg) }
+
+// Shares compiles a policy over a job set and returns each job's token
+// share — the quickest way to inspect what a policy means.
+func Shares(jobs []JobInfo, p Policy) (map[string]float64, error) {
+	return policy.Shares(jobs, p)
+}
+
+// Calibration constants of the simulated substrate (from the paper's
+// measured hardware envelope).
+const (
+	DirBW    = bb.DefaultDirBW
+	DeviceBW = bb.DefaultDeviceBW
+	Lambda   = bb.DefaultLambda
+)
+
+var _ = time.Second
