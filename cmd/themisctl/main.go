@@ -1,15 +1,22 @@
 // Command themisctl is a small client CLI against live themisd servers:
 // put/get/ls/stat/rm through the POSIX-style client library, under an
-// explicit job identity so policy behaviour can be exercised by hand.
+// explicit job identity so policy behaviour can be exercised by hand,
+// plus cluster-fabric operator commands.
 //
 // Usage:
 //
 //	themisctl -servers 127.0.0.1:7000 -job demo -user alice -nodes 4 mkdir /data
-//	themisctl -servers 127.0.0.1:7000 put /data/x < local.bin
-//	themisctl -servers 127.0.0.1:7000 get /data/x > out.bin
+//	themisctl -servers 127.0.0.1:7000 -stripes 4 put /data/x < local.bin
+//	themisctl -servers 127.0.0.1:7000 -stripes 4 get /data/x > out.bin
 //	themisctl -servers 127.0.0.1:7000 ls /data
 //	themisctl -servers 127.0.0.1:7000 stat /data/x
 //	themisctl -servers 127.0.0.1:7000 rm /data/x
+//	themisctl -servers 127.0.0.1:7000 cluster status
+//	themisctl -servers 127.0.0.1:7001 cluster drain
+//
+// `cluster status` prints the membership table as seen by the first
+// server; `cluster drain` asks that server to stop owning ring segments
+// ahead of a graceful shutdown.
 package main
 
 import (
@@ -17,11 +24,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"strings"
+	"time"
 
 	"themisio/internal/client"
+	"themisio/internal/cluster"
 	"themisio/internal/policy"
+	"themisio/internal/transport"
 )
 
 func main() {
@@ -30,17 +41,28 @@ func main() {
 	user := flag.String("user", "operator", "user id")
 	group := flag.String("group", "staff", "group id")
 	nodes := flag.Int("nodes", 1, "job size in nodes")
+	stripes := flag.Int("stripes", 1, "servers each file's data spans")
+	stripeUnit := flag.Int64("stripe-unit", 0, "bytes per stripe chunk (0 = default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH")
+		fmt.Fprintln(os.Stderr,
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain}")
 		os.Exit(2)
 	}
 	cmd, path := args[0], args[1]
+	addrs := strings.Split(*servers, ",")
 
-	c, err := client.Dial(policy.JobInfo{
+	if cmd == "cluster" {
+		if err := clusterCmd(addrs[0], path); err != nil {
+			log.Fatalf("themisctl: cluster %s: %v", path, err)
+		}
+		return
+	}
+
+	c, err := client.DialOpts(policy.JobInfo{
 		JobID: *jobID, UserID: *user, GroupID: *group, Nodes: *nodes,
-	}, strings.Split(*servers, ","))
+	}, addrs, client.Options{Stripes: *stripes, StripeUnit: *stripeUnit})
 	if err != nil {
 		log.Fatalf("themisctl: %v", err)
 	}
@@ -102,4 +124,38 @@ func main() {
 	if err != nil {
 		log.Fatalf("themisctl: %s %s: %v", cmd, path, err)
 	}
+}
+
+// clusterCmd talks the fabric control protocol directly to one server.
+func clusterCmd(addr, sub string) error {
+	var typ transport.MsgType
+	switch sub {
+	case "status":
+		typ = transport.MsgClusterStatus
+	case "drain":
+		typ = transport.MsgDrain
+	default:
+		return fmt.Errorf("unknown subcommand %q (want status or drain)", sub)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	conn := transport.NewConn(raw)
+	defer conn.Close()
+	if err := conn.SendRequest(&transport.Request{Type: typ, Seq: 1}); err != nil {
+		return err
+	}
+	resp, err := conn.RecvResponse()
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return resp.Error()
+	}
+	fmt.Printf("epoch %d, %d members (as seen by %s)\n", resp.Epoch, len(resp.Members), addr)
+	for _, m := range cluster.FromRecords(resp.Members) {
+		fmt.Printf("%s\t%s\tincarnation %d\n", m.Addr, m.State, m.Incarnation)
+	}
+	return nil
 }

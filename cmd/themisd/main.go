@@ -3,12 +3,19 @@
 // Usage:
 //
 //	themisd -listen 127.0.0.1:7000 -policy size-fair
-//	themisd -listen 127.0.0.1:7001 -policy size-fair -peers 127.0.0.1:7000
+//	themisd -listen 127.0.0.1:7001 -policy size-fair -join 127.0.0.1:7000
+//	themisd -listen 127.0.0.1:7002 -policy size-fair -join 127.0.0.1:7000 -gossip-fanout 3
 //
 // The sharing policy is the single administrator-facing parameter the
 // paper describes; any primitive or composite policy string parses
 // (fifo, job-fair, user-fair, size-fair, priority-fair,
 // user-then-size-fair, group-then-user-then-size-fair, ...).
+//
+// A server joins the cluster fabric through any live member (-join);
+// membership, job tables, and failures then spread by gossip — each
+// server exchanges with -gossip-fanout random peers per λ, not with
+// every peer. On SIGTERM the server leaves gracefully so its ring
+// segment reassigns immediately instead of after the failure timeout.
 package main
 
 import (
@@ -29,7 +36,9 @@ func main() {
 	polStr := flag.String("policy", "size-fair", "sharing policy")
 	workers := flag.Int("workers", 4, "worker pool size")
 	capacity := flag.Int64("capacity", 256<<20, "storage device bytes")
-	peers := flag.String("peers", "", "comma-separated peer server addresses for λ-sync")
+	peers := flag.String("peers", "", "deprecated alias for -join (was: static peer list)")
+	join := flag.String("join", "", "comma-separated addresses of existing cluster members")
+	fanout := flag.Int("gossip-fanout", 0, "random peers gossiped with per λ round (0 = default)")
 	flag.Parse()
 
 	pol, err := policy.Parse(*polStr)
@@ -40,15 +49,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("themisd: %v", err)
 	}
-	var peerList []string
+	var seeds []string
+	if *join != "" {
+		seeds = append(seeds, strings.Split(*join, ",")...)
+	}
 	if *peers != "" {
-		peerList = strings.Split(*peers, ",")
+		seeds = append(seeds, strings.Split(*peers, ",")...)
 	}
 	srv := server.New(ln, server.Config{
-		Policy:   pol,
-		Workers:  *workers,
-		Capacity: *capacity,
-		Peers:    peerList,
+		Policy:       pol,
+		Workers:      *workers,
+		Capacity:     *capacity,
+		Join:         seeds,
+		GossipFanout: *fanout,
 	})
 	log.Printf("themisd: serving on %s, policy %s, %d workers", srv.Addr(), pol, *workers)
 
@@ -56,8 +69,8 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("themisd: shutting down (%d requests served)", srv.Served())
-		srv.Close()
+		log.Printf("themisd: leaving cluster and shutting down (%d requests served)", srv.Served())
+		srv.Leave()
 		os.Exit(0)
 	}()
 	srv.Serve()

@@ -17,13 +17,13 @@
 //     baselines
 //   - internal/bb       — the discrete-event burst-buffer simulator that
 //     regenerates every figure of the paper's evaluation
+//   - internal/cluster  — the multi-server fabric: membership
+//     (join/leave/drain/fail), gossip-based λ-sync, and failover
 //   - internal/fsys, internal/storage, internal/chash — the user-space
 //     file system substrate
 //   - internal/server, internal/client, internal/transport — the live
-//     (socket) server and POSIX-style client
+//     (socket) server and POSIX-style client, with client-side striping
 //   - internal/experiments — one runner per paper table/figure
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// paper-to-repo substitution table, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See README.md for a tour of the repository.
 package themisio

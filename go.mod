@@ -1,0 +1,3 @@
+module themisio
+
+go 1.22

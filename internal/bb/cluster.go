@@ -2,6 +2,7 @@ package bb
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"themisio/internal/jobtable"
@@ -40,6 +41,14 @@ type Config struct {
 
 	// HeartbeatTimeout is the job-table inactivity window.
 	HeartbeatTimeout time.Duration
+
+	// GossipFanout mirrors the live cluster fabric: when positive, the
+	// λ sync is an epidemic push-pull with this many random peers per
+	// server per round (converging in O(log N) rounds) instead of the
+	// all-to-all gather. Zero keeps the exact all-gather.
+	GossipFanout int
+	// GossipSeed fixes the peer-selection stream (sim determinism).
+	GossipSeed int64
 }
 
 func (c *Config) fill() {
@@ -79,6 +88,7 @@ type Cluster struct {
 	servers []*server
 	meter   *Meter
 	eff     float64
+	rng     *rand.Rand
 }
 
 // NewCluster builds a cluster. NewSched is required.
@@ -91,6 +101,7 @@ func NewCluster(cfg Config) *Cluster {
 		cfg:   cfg,
 		eng:   sim.New(),
 		meter: NewMeter(cfg.Bin),
+		rng:   rand.New(rand.NewSource(cfg.GossipSeed)),
 	}
 	alpha := cfg.ScaleAlpha
 	if alpha < 0 {
@@ -147,19 +158,28 @@ func (c *Cluster) Table(i int) *jobtable.Table { return c.servers[i].table }
 // Efficiency returns the applied multi-server scaling efficiency.
 func (c *Cluster) Efficiency() float64 { return c.eff }
 
-// SyncTables performs one job-table all-gather (the λ loop calls this on
-// schedule; tests may call it directly). With SyncDelay configured, peer
-// snapshots are captured now but merged and applied SyncDelay later.
+// SyncTables performs one λ synchronization round (the λ loop calls
+// this on schedule; tests may call it directly): an all-gather by
+// default, or — with GossipFanout set — one epidemic push-pull round
+// mirroring the live fabric, where each live server exchanges tables
+// with k random live peers. With SyncDelay configured, peer snapshots
+// are captured now but merged and applied SyncDelay later.
 func (c *Cluster) SyncTables() {
 	now := c.eng.Now()
 	apply := func() {
 		at := c.eng.Now()
 		if len(c.servers) > 1 {
-			tables := make([]*jobtable.Table, len(c.servers))
-			for i, s := range c.servers {
-				tables[i] = s.table
+			if c.cfg.GossipFanout > 0 {
+				c.gossipRound(at)
+			} else {
+				tables := make([]*jobtable.Table, 0, len(c.servers))
+				for _, s := range c.servers {
+					if !s.failed {
+						tables = append(tables, s.table)
+					}
+				}
+				jobtable.AllGather(tables, at)
 			}
-			jobtable.AllGather(tables, at)
 		}
 		for _, s := range c.servers {
 			s.dirty = true
@@ -172,15 +192,13 @@ func (c *Cluster) SyncTables() {
 		for i, s := range c.servers {
 			snaps[i] = s.table.Snapshot()
 		}
+		pairs := c.syncPairs()
 		c.eng.After(c.cfg.SyncDelay, func() {
 			at := c.eng.Now()
-			for i, s := range c.servers {
-				for j, snap := range snaps {
-					if i == j {
-						continue
-					}
-					s.table.Merge(snap, at)
-				}
+			for _, p := range pairs {
+				c.servers[p[0]].table.Merge(snaps[p[1]], at)
+			}
+			for _, s := range c.servers {
 				s.dirty = true
 			}
 		})
@@ -190,10 +208,110 @@ func (c *Cluster) SyncTables() {
 	apply()
 }
 
-// Submit enqueues a request on server i at the current virtual time. Most
+// syncPairs returns the (dst, src) merge pairs of one sync round: the
+// full bipartite set for the all-gather, or the push-pull pairs of one
+// gossip round.
+func (c *Cluster) syncPairs() [][2]int {
+	var pairs [][2]int
+	live := c.liveIdx()
+	if c.cfg.GossipFanout <= 0 {
+		for _, i := range live {
+			for _, j := range live {
+				if i != j {
+					pairs = append(pairs, [2]int{i, j})
+				}
+			}
+		}
+		return pairs
+	}
+	for _, i := range live {
+		for _, j := range c.pickPeers(i, live) {
+			pairs = append(pairs, [2]int{i, j}, [2]int{j, i})
+		}
+	}
+	return pairs
+}
+
+// gossipRound runs one push-pull epidemic round at virtual time at:
+// every live server exchanges fresh table snapshots with GossipFanout
+// random live peers (both directions, like the wire exchange).
+func (c *Cluster) gossipRound(at time.Duration) {
+	for _, p := range c.syncPairs() {
+		snap := c.servers[p[1]].table.Snapshot()
+		c.servers[p[0]].table.Merge(snap, at)
+	}
+}
+
+// liveIdx returns the indices of non-failed servers.
+func (c *Cluster) liveIdx() []int {
+	var out []int
+	for i, s := range c.servers {
+		if !s.failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pickPeers samples up to GossipFanout random live peers of server i.
+func (c *Cluster) pickPeers(i int, live []int) []int {
+	var others []int
+	for _, j := range live {
+		if j != i {
+			others = append(others, j)
+		}
+	}
+	k := c.cfg.GossipFanout
+	if len(others) <= k {
+		return others
+	}
+	idx := c.rng.Perm(len(others))[:k]
+	out := make([]int, 0, k)
+	for _, x := range idx {
+		out = append(out, others[x])
+	}
+	return out
+}
+
+// FailServer marks server i failed, mirroring the live fabric's
+// failover: the server stops serving and syncing, its queued requests
+// are abandoned, and every survivor drops its sightings so the 1/k
+// presence deweighting shifts each affected job's tokens onto the
+// remaining servers.
+func (c *Cluster) FailServer(i int) {
+	s := c.servers[i]
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.parked = nil
+	for j, p := range c.servers {
+		if j == i || p.failed {
+			continue
+		}
+		p.table.DropServer(s.id)
+		p.dirty = true
+	}
+}
+
+// Failed reports whether server i has been failed.
+func (c *Cluster) Failed(i int) bool { return c.servers[i].failed }
+
+// Submit enqueues a request on server i at the current virtual time. A
+// request aimed at a failed server lands on the next live server in
+// index order — the sim mirror of the client's ring reassignment. Most
 // callers use AddProc; app traces with custom control loops use Submit
 // directly.
 func (c *Cluster) Submit(i int, r *sched.Request) {
+	for n := 0; n < len(c.servers) && c.servers[i].failed; n++ {
+		i = (i + 1) % len(c.servers)
+	}
+	if c.servers[i].failed {
+		// Enqueueing on a failed server would drop the request silently
+		// (its serve loop never runs); a driver doing this has failed
+		// the whole cluster and should hear about it deterministically.
+		panic("bb: Submit with every server failed")
+	}
 	c.servers[i].submit(c.eng.Now(), r)
 }
 
@@ -208,12 +326,13 @@ func (c *Cluster) Run(until time.Duration) {
 // total, DirBW·dt per direction, and OpsPerSec·dt requests — the §5.2
 // hardware envelope.
 type server struct {
-	c     *Cluster
-	idx   int
-	id    string
-	sch   sched.Scheduler
-	table *jobtable.Table
-	dirty bool
+	c      *Cluster
+	idx    int
+	id     string
+	sch    sched.Scheduler
+	table  *jobtable.Table
+	dirty  bool
+	failed bool
 
 	// parked holds requests whose service straddles tick boundaries
 	// (budget for their direction ran out); they are served ahead of the
@@ -244,6 +363,9 @@ func (s *server) submit(now time.Duration, r *sched.Request) {
 const parkCap = 64
 
 func (s *server) serve(now time.Duration, dt time.Duration) {
+	if s.failed {
+		return
+	}
 	if s.dirty {
 		s.sch.SetJobs(s.table.Active(now))
 		s.dirty = false

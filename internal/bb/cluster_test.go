@@ -1,6 +1,7 @@
 package bb
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -172,5 +173,72 @@ func TestStatStormIOPSBound(t *testing.T) {
 	opsPerSec := s.TotalBytes() / 5 // series stores op counts
 	if opsPerSec < 0.5e6 || opsPerSec > 1.3e6 {
 		t.Fatalf("stat throughput = %.0f ops/s, want ~1.2M (IOPS envelope)", opsPerSec)
+	}
+}
+
+// Gossip λ-sync mirror: with fan-out 2, sixteen servers each knowing
+// one distinct job converge to the full 16-job table in O(log N) sync
+// rounds — no all-gather.
+func TestGossipSyncConvergence(t *testing.T) {
+	const n = 16
+	c := NewCluster(Config{
+		Servers:      n,
+		NewSched:     themisFactory(policy.JobFair, 1),
+		GossipFanout: 2,
+		GossipSeed:   7,
+	})
+	for i := 0; i < n; i++ {
+		c.Submit(i, &sched.Request{
+			Job: job(fmt.Sprintf("j%02d", i), "u", "g", 1), Op: sched.OpWrite, Bytes: 1,
+		})
+	}
+	full := func() bool {
+		for i := 0; i < n; i++ {
+			if c.Table(i).Len() != n {
+				return false
+			}
+		}
+		return true
+	}
+	rounds := 0
+	for ; !full() && rounds < 12; rounds++ {
+		c.SyncTables()
+	}
+	if !full() {
+		t.Fatalf("tables not converged after %d gossip rounds", rounds)
+	}
+	if rounds > 8 { // log2(16)=4 with push-pull fan-out 2; allow slack
+		t.Fatalf("convergence took %d rounds, want O(log N)", rounds)
+	}
+}
+
+// FailServer mirrors the live failover: the failed server stops
+// serving, its sightings are scrubbed (presence deweighting shifts to
+// the survivors), and traffic aimed at it lands on a live server.
+func TestFailServerShiftsLoad(t *testing.T) {
+	c := NewCluster(Config{Servers: 2, NewSched: themisFactory(policy.JobFair, 1)})
+	j := job("j1", "u1", "g1", 1)
+	c.Submit(0, &sched.Request{Job: j, Op: sched.OpWrite, Bytes: 1})
+	c.Submit(1, &sched.Request{Job: j, Op: sched.OpWrite, Bytes: 1})
+	c.SyncTables()
+	if act := c.Table(0).Active(c.Now()); len(act) != 1 || act[0].Presence != 2 {
+		t.Fatalf("pre-failure active = %+v, want presence 2", act)
+	}
+	c.FailServer(1)
+	if !c.Failed(1) || c.Failed(0) {
+		t.Fatal("failure flags wrong")
+	}
+	if act := c.Table(0).Active(c.Now()); act[0].Presence != 1 {
+		t.Fatalf("post-failure presence = %d, want 1", act[0].Presence)
+	}
+	// A request aimed at the dead server is served by the survivor.
+	done := false
+	c.Submit(1, &sched.Request{
+		Job: j, Op: sched.OpWrite, Bytes: workload.MB,
+		Done: func(time.Duration) { done = true },
+	})
+	c.Run(c.Now() + 100*time.Millisecond)
+	if !done {
+		t.Fatal("redirected request never completed")
 	}
 }

@@ -137,3 +137,40 @@ func TestLookupMembershipProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Occupancy: with the default 128 virtual nodes per server, spreading
+// many keys over the ring keeps the hottest shard within 1.35× the
+// mean (the balls-in-boxes bound the placement design leans on,
+// arXiv:2203.08918) — the acceptance check for membership-driven
+// rebalancing.
+func TestOccupancyBalance(t *testing.T) {
+	for _, servers := range []int{4, 8, 16} {
+		r := New(DefaultReplicas)
+		for i := 0; i < servers; i++ {
+			r.Add(fmt.Sprintf("srv%02d", i))
+		}
+		const keys = 100000
+		all := make([]string, keys)
+		for i := range all {
+			all[i] = fmt.Sprintf("/data/job%d/ckpt.%d", i%997, i)
+		}
+		loads := r.Loads(all)
+		if len(loads) != servers {
+			t.Fatalf("Loads covers %d servers, want %d", len(loads), servers)
+		}
+		max, total := 0, 0
+		for _, n := range loads {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		if total != keys {
+			t.Fatalf("Loads accounted %d keys, want %d", total, keys)
+		}
+		mean := float64(total) / float64(servers)
+		if ratio := float64(max) / mean; ratio > 1.35 {
+			t.Fatalf("%d servers: max/mean = %.3f, want <= 1.35", servers, ratio)
+		}
+	}
+}

@@ -6,8 +6,14 @@
 // symbols (override/trampoline, §4.4); here they are called directly —
 // the arbitration problem is identical either way.
 //
-// With multiple servers the client places each path on a server via the
-// same consistent hash the servers' file system uses.
+// With multiple servers the client places each path on servers via the
+// same consistent hash the servers' file system uses. Files may be
+// striped: data is split into stripe-unit chunks laid round-robin
+// across the path's stripe set, and reads and writes fan out to the
+// stripe servers in parallel, so one client's aggregate bandwidth
+// scales with the server count. A server that stops answering is
+// removed from the client's ring, so its segment reassigns and I/O
+// continues on the survivors (the client half of failover).
 package client
 
 import (
@@ -19,20 +25,38 @@ import (
 	"time"
 
 	"themisio/internal/chash"
+	"themisio/internal/cluster"
 	"themisio/internal/policy"
 	"themisio/internal/transport"
 )
+
+// Options tunes a client beyond the defaults.
+type Options struct {
+	// Stripes is the number of servers each file's data spans (clipped
+	// to the live server count; non-positive means 1, the unstriped
+	// placement of the seed implementation).
+	Stripes int
+	// StripeUnit is the bytes written to one server before moving to
+	// the next (non-positive selects DefaultStripeUnit).
+	StripeUnit int64
+}
+
+// DefaultStripeUnit is the stripe chunk size, matching the server-side
+// file system's unit.
+const DefaultStripeUnit = 1 << 20
 
 // Client is one application process's connection to the burst buffer.
 type Client struct {
 	job  policy.JobInfo
 	ring *chash.Ring
+	opts Options
 
-	mu    sync.Mutex
-	conns map[string]*serverConn
-	fds   map[int]*fileHandle
-	next  int
-	seq   atomic.Uint64
+	mu       sync.Mutex
+	conns    map[string]*serverConn
+	draining map[string]bool // members to avoid for new placement
+	fds      map[int]*fileHandle
+	next     int
+	seq      atomic.Uint64
 
 	hbStop chan struct{}
 	hbDone chan struct{}
@@ -41,10 +65,22 @@ type Client struct {
 type fileHandle struct {
 	path string
 	off  int64
+	// size is the known global size — the append position for striped
+	// writes. It is set at Open and advanced by Write; extensions made
+	// through other handles become visible on reopen.
+	size    int64
+	stripes int      // the file's stripe width (from metadata, not config)
+	unit    int64    // the file's stripe unit (from metadata, not config)
+	set     []string // the file's recorded stripe servers, in order
+	// damaged marks a handle whose striped write could not be completed
+	// or repaired; further writes would interleave wrongly, so they are
+	// refused instead of silently corrupting the file.
+	damaged bool
 }
 
 // serverConn multiplexes concurrent requests over one connection.
 type serverConn struct {
+	addr string
 	conn *transport.Conn
 	mu   sync.Mutex
 	wait map[uint64]chan *transport.Response
@@ -57,6 +93,7 @@ func dialServer(addr string) (*serverConn, error) {
 		return nil, err
 	}
 	sc := &serverConn{
+		addr: addr,
 		conn: transport.NewConn(raw),
 		wait: map[uint64]chan *transport.Response{},
 	}
@@ -110,21 +147,35 @@ func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) 
 	return resp, nil
 }
 
-// Dial connects to the given servers under the job identity. The client
-// begins heartbeating immediately so the servers' job monitors see the
-// job before its first I/O.
+// Dial connects to the given servers under the job identity with
+// default options (no striping). The client begins heartbeating
+// immediately so the servers' job monitors see the job before its
+// first I/O.
 func Dial(job policy.JobInfo, servers []string) (*Client, error) {
+	return DialOpts(job, servers, Options{})
+}
+
+// DialOpts connects with explicit striping options.
+func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("client: no servers")
 	}
+	if opts.Stripes <= 0 {
+		opts.Stripes = 1
+	}
+	if opts.StripeUnit <= 0 {
+		opts.StripeUnit = DefaultStripeUnit
+	}
 	c := &Client{
-		job:    job,
-		ring:   chash.New(0),
-		conns:  map[string]*serverConn{},
-		fds:    map[int]*fileHandle{},
-		next:   3, // fds 0-2 are taken, as in POSIX
-		hbStop: make(chan struct{}),
-		hbDone: make(chan struct{}),
+		job:      job,
+		ring:     chash.New(0),
+		opts:     opts,
+		conns:    map[string]*serverConn{},
+		draining: map[string]bool{},
+		fds:      map[int]*fileHandle{},
+		next:     3, // fds 0-2 are taken, as in POSIX
+		hbStop:   make(chan struct{}),
+		hbDone:   make(chan struct{}),
 	}
 	for _, addr := range servers {
 		sc, err := dialServer(addr)
@@ -152,11 +203,22 @@ func (c *Client) closeConns() {
 func (c *Client) Close() {
 	close(c.hbStop)
 	<-c.hbDone
+	// Copy under the lock, send after: a goodbye to a wedged server
+	// must not hold c.mu and block every other client method.
+	c.mu.Lock()
+	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	for _, sc := range conns {
 		_ = sc.conn.SendRequest(&transport.Request{Type: transport.MsgBye, Job: c.job})
 		sc.conn.Close()
 	}
 }
+
+// Servers returns the addresses the client still considers live.
+func (c *Client) Servers() []string { return c.ring.Nodes() }
 
 func (c *Client) heartbeatLoop() {
 	defer close(c.hbDone)
@@ -168,55 +230,238 @@ func (c *Client) heartbeatLoop() {
 			return
 		case <-tick.C:
 			c.heartbeatAll()
+			c.refreshMembership()
+		}
+	}
+}
+
+// refreshMembership asks one live server for the fabric's membership
+// view: failed and left members are dropped from the placement ring
+// proactively (not just after an I/O error), and draining members are
+// remembered so new files avoid them.
+func (c *Client) refreshMembership() {
+	c.mu.Lock()
+	var any *serverConn
+	for _, sc := range c.conns {
+		any = sc
+		break
+	}
+	c.mu.Unlock()
+	if any == nil {
+		return
+	}
+	resp, err := any.call(&transport.Request{
+		Type: transport.MsgClusterStatus, Seq: c.seq.Add(1), Job: c.job,
+	})
+	if err != nil {
+		c.markFailed(any.addr)
+		return
+	}
+	for _, m := range cluster.FromRecords(resp.Members) {
+		switch m.State {
+		case cluster.StateFailed, cluster.StateLeft:
+			c.markFailed(m.Addr)
+		case cluster.StateDraining:
+			c.mu.Lock()
+			c.draining[m.Addr] = true
+			c.mu.Unlock()
+		case cluster.StateAlive:
+			c.mu.Lock()
+			delete(c.draining, m.Addr)
+			c.mu.Unlock()
 		}
 	}
 }
 
 func (c *Client) heartbeatAll() {
+	c.mu.Lock()
+	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
-		_ = sc.conn.SendRequest(&transport.Request{
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	for _, sc := range conns {
+		if err := sc.conn.SendRequest(&transport.Request{
 			Type: transport.MsgHeartbeat,
 			Seq:  c.seq.Add(1),
 			Job:  c.job,
-		})
+		}); err != nil {
+			c.markFailed(sc.addr)
+		}
 	}
 }
 
-// serverFor routes a path to its owning server.
-func (c *Client) serverFor(path string) *serverConn {
-	addr, _ := c.ring.Lookup(path)
-	return c.conns[addr]
+// markFailed drops a server the client could not reach: its connection
+// closes and its ring segment reassigns to the survivors, mirroring the
+// fabric's failover. Subsequent placement follows the shrunken ring.
+func (c *Client) markFailed(addr string) {
+	c.mu.Lock()
+	sc, ok := c.conns[addr]
+	if ok {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	if ok {
+		sc.conn.Close()
+		c.ring.Remove(addr)
+	}
 }
 
-func (c *Client) call(path string, req *transport.Request) (*transport.Response, error) {
-	req.Seq = c.seq.Add(1)
-	req.Job = c.job
-	req.Path = path
-	resp, err := c.serverFor(path).call(req)
+// connFor returns the live connection for addr.
+func (c *Client) connFor(addr string) (*serverConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.conns[addr]
+	if !ok {
+		return nil, fmt.Errorf("client: no live connection to %s", addr)
+	}
+	return sc, nil
+}
+
+// stripeSet returns the addresses holding a width-stripes file's data,
+// in stripe order, when no recorded set is available (legacy files).
+func (c *Client) stripeSet(path string, stripes int) []string {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return c.ring.LookupN(path, stripes)
+}
+
+// createSet picks the stripe servers for a new file: the ring walk,
+// skipping draining members when enough non-draining servers remain.
+// The chosen set is recorded in the file metadata, so every later
+// reader follows it regardless of how the ring drifts afterwards.
+func (c *Client) createSet(path string) []string {
+	c.mu.Lock()
+	nDraining := len(c.draining)
+	c.mu.Unlock()
+	want := c.opts.Stripes
+	candidates := c.ring.LookupN(path, want+nDraining)
+	var out []string
+	for _, addr := range candidates {
+		c.mu.Lock()
+		drain := c.draining[addr]
+		c.mu.Unlock()
+		if !drain && len(out) < want {
+			out = append(out, addr)
+		}
+	}
+	if len(out) == 0 {
+		return candidates[:min(want, len(candidates))]
+	}
+	return out
+}
+
+// callAddr sends one request to one server, failing the server over on
+// a transport-level error.
+func (c *Client) callAddr(addr, path string, req *transport.Request) (*transport.Response, error) {
+	sc, err := c.connFor(addr)
 	if err != nil {
 		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, resp.Error()
+	req.Seq = c.seq.Add(1)
+	req.Job = c.job
+	req.Path = path
+	resp, err := sc.call(req)
+	if err != nil {
+		c.markFailed(addr)
+		return nil, err
 	}
 	return resp, nil
 }
 
-// Open opens an existing file (create=false) or creates it, returning a
-// file descriptor.
-func (c *Client) Open(path string, create bool) (int, error) {
-	typ := transport.MsgOpen
-	if create {
-		typ = transport.MsgCreate
+// call routes a request to the path's owner server, retrying on the
+// reassigned owner when the first choice has failed. Application errors
+// (ErrNotExist and friends) surface immediately; only transport-level
+// failures trigger re-routing.
+func (c *Client) call(path string, req *transport.Request) (*transport.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		addr, ok := c.ring.Lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("client: no servers left")
+		}
+		resp, err := c.callAddr(addr, path, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Err != "" {
+			return nil, resp.Error()
+		}
+		return resp, nil
 	}
-	if _, err := c.call(path, &transport.Request{Type: typ}); err != nil {
+	return nil, lastErr
+}
+
+// fanOut sends one request per address in parallel and collects the
+// responses in address order. A transport-level error on any server
+// fails that server over and reports the error; an application error in
+// any response is returned as-is.
+func (c *Client) fanOut(addrs []string, path string, mk func(i int) *transport.Request) ([]*transport.Response, error) {
+	resps := make([]*transport.Response, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		req := mk(i)
+		if req == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string, req *transport.Request) {
+			defer wg.Done()
+			resps[i], errs[i] = c.callAddr(addr, path, req)
+		}(i, addr, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return resps, err
+		}
+	}
+	for _, r := range resps {
+		if r != nil && r.Err != "" {
+			return resps, r.Error()
+		}
+	}
+	return resps, nil
+}
+
+// Open opens an existing file (create=false) or creates it, returning a
+// file descriptor. Creation places the file on every server of its
+// stripe set — recording the stripe width in the file metadata — so
+// striped appends land locally and any client can later discover the
+// layout. Opening reads the width back from the metadata, so clients
+// with different striping configurations interoperate.
+func (c *Client) Open(path string, create bool) (int, error) {
+	if create {
+		set := c.createSet(path)
+		if len(set) == 0 {
+			return -1, fmt.Errorf("client: no servers left")
+		}
+		if _, err := c.fanOut(set, path, func(int) *transport.Request {
+			return &transport.Request{
+				Type:       transport.MsgCreate,
+				Stripes:    len(set),
+				StripeUnit: c.opts.StripeUnit,
+				StripeSet:  set,
+			}
+		}); err != nil {
+			return -1, err
+		}
+	}
+	size, _, layout, err := c.statFull(path)
+	if err != nil {
 		return -1, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fd := c.next
 	c.next++
-	c.fds[fd] = &fileHandle{path: path}
+	c.fds[fd] = &fileHandle{
+		path: path, size: size,
+		stripes: layout.stripes, unit: layout.unit, set: layout.set,
+	}
 	return fd, nil
 }
 
@@ -230,36 +475,219 @@ func (c *Client) handle(fd int) (*fileHandle, error) {
 	return h, nil
 }
 
-// Write appends len(p) bytes at the handle's offset (the server store is
+// Write appends len(p) bytes to the file (the server store is
 // append-structured; sequential writes are the burst-buffer pattern).
+// With striping, the data splits into stripe-unit chunks laid
+// round-robin over the stripe set; each server's chunks are contiguous
+// in its local stripe, so the whole write is at most one parallel
+// request per stripe server.
 func (c *Client) Write(fd int, p []byte) (int, error) {
 	h, err := c.handle(fd)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.call(h.path, &transport.Request{Type: transport.MsgWrite, Data: p})
-	if err != nil {
-		return 0, err
+	if h.damaged {
+		return 0, fmt.Errorf("client: %s: earlier striped write failed mid-stripe; reopen after repair", h.path)
 	}
-	h.off += resp.N
-	return int(resp.N), nil
+	set := h.set
+	if len(set) == 0 {
+		set = c.stripeSet(h.path, h.stripes)
+	}
+	if len(set) == 0 {
+		return 0, fmt.Errorf("client: no servers left")
+	}
+	unit := h.unit
+	if unit <= 0 {
+		unit = c.opts.StripeUnit
+	}
+	// Slice p into per-server spans, preserving order within a server.
+	bufs := make([][]byte, len(set))
+	off := h.size
+	for done := 0; done < len(p); {
+		idx := int(off/unit) % len(set)
+		n := int(unit - off%unit)
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		bufs[idx] = append(bufs[idx], p[done:done+n]...)
+		done += n
+		off += int64(n)
+	}
+	if _, err := c.fanOut(set, h.path, func(i int) *transport.Request {
+		if len(bufs[i]) == 0 {
+			return nil
+		}
+		return &transport.Request{Type: transport.MsgWrite, Data: bufs[i]}
+	}); err != nil {
+		// Some stripes may have appended and some not; a blind retry
+		// would re-append the landed chunks and silently corrupt the
+		// round-robin layout. Repair instead: top each stripe up to its
+		// exact target length, and poison the handle if that fails.
+		if rerr := c.repairWrite(h, set, bufs, unit); rerr != nil {
+			h.damaged = true
+			return 0, fmt.Errorf("client: striped write failed and could not be repaired: %w", rerr)
+		}
+	}
+	h.size += int64(len(p))
+	h.off = h.size
+	return len(p), nil
 }
 
-// Read reads up to len(p) bytes from the handle's offset.
+// localLen returns how many bytes of a total-byte file laid round-robin
+// in unit-sized chunks over nStripes servers land on stripe i.
+func localLen(total int64, i, nStripes int, unit int64) int64 {
+	cycle := unit * int64(nStripes)
+	n := (total / cycle) * unit
+	rem := total%cycle - int64(i)*unit
+	if rem > unit {
+		rem = unit
+	}
+	if rem > 0 {
+		n += rem
+	}
+	return n
+}
+
+// repairWrite completes a partially-landed striped write: each stripe
+// server reports its local length, and only the missing tail of its
+// span is re-sent. Appends are per-server ordered, so the local length
+// identifies exactly which chunks landed.
+func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit int64) error {
+	target := h.size + func() int64 {
+		var n int64
+		for _, b := range bufs {
+			n += int64(len(b))
+		}
+		return n
+	}()
+	for i, addr := range set {
+		resp, err := c.callAddr(addr, h.path, &transport.Request{Type: transport.MsgStat})
+		if err != nil {
+			return fmt.Errorf("stripe %s unreachable: %w", addr, err)
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("stripe %s: %s", addr, resp.Err)
+		}
+		need := localLen(target, i, len(set), unit) - resp.Size
+		if need < 0 || need > int64(len(bufs[i])) {
+			return fmt.Errorf("stripe %s has unexpected length %d", addr, resp.Size)
+		}
+		if need == 0 {
+			continue
+		}
+		wresp, err := c.callAddr(addr, h.path, &transport.Request{
+			Type: transport.MsgWrite, Data: bufs[i][int64(len(bufs[i]))-need:],
+		})
+		if err != nil {
+			return fmt.Errorf("stripe %s unreachable: %w", addr, err)
+		}
+		if wresp.Err != "" {
+			return fmt.Errorf("stripe %s: %s", addr, wresp.Err)
+		}
+	}
+	return nil
+}
+
+// Read reads up to len(p) bytes from the handle's offset. A striped
+// read touches each stripe server's locally-contiguous range once, in
+// parallel, and reassembles the units into p.
 func (c *Client) Read(fd int, p []byte) (int, error) {
 	h, err := c.handle(fd)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.call(h.path, &transport.Request{
-		Type: transport.MsgRead, Offset: h.off, Size: int64(len(p)),
+	set := h.set
+	if len(set) == 0 {
+		set = c.stripeSet(h.path, h.stripes)
+	}
+	if len(set) == 0 {
+		return 0, fmt.Errorf("client: no servers left")
+	}
+	if len(set) == 1 {
+		resp, err := c.callAddr(set[0], h.path, &transport.Request{
+			Type: transport.MsgRead, Offset: h.off, Size: int64(len(p)),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if resp.Err != "" {
+			return 0, resp.Error()
+		}
+		copy(p, resp.Data)
+		h.off += resp.N
+		return int(resp.N), nil
+	}
+	// The handle's tracked size clamps the read (no per-read stat storm
+	// on the path that exists to scale bandwidth); writes through other
+	// handles become visible on reopen.
+	size := h.size
+	want := int64(len(p))
+	if h.off >= size {
+		return 0, nil
+	}
+	if want > size-h.off {
+		want = size - h.off
+	}
+	unit := h.unit
+	if unit <= 0 {
+		unit = c.opts.StripeUnit
+	}
+	g0, g1 := h.off, h.off+want
+	// Each server's touched units are consecutive multiples of the unit
+	// in its local stripe, so its byte range is contiguous: track the
+	// local [lo,hi) per server, read once, then scatter units back.
+	lo := make([]int64, len(set))
+	hi := make([]int64, len(set))
+	for i := range lo {
+		lo[i] = -1
+	}
+	for u := g0 / unit; u <= (g1-1)/unit; u++ {
+		idx := int(u) % len(set)
+		segStart, segEnd := u*unit, (u+1)*unit
+		if segStart < g0 {
+			segStart = g0
+		}
+		if segEnd > g1 {
+			segEnd = g1
+		}
+		base := (u / int64(len(set))) * unit
+		llo := base + segStart - u*unit
+		lhi := base + segEnd - u*unit
+		if lo[idx] < 0 {
+			lo[idx] = llo
+		}
+		hi[idx] = lhi
+	}
+	resps, err := c.fanOut(set, h.path, func(i int) *transport.Request {
+		if lo[i] < 0 {
+			return nil
+		}
+		return &transport.Request{Type: transport.MsgRead, Offset: lo[i], Size: hi[i] - lo[i]}
 	})
 	if err != nil {
 		return 0, err
 	}
-	copy(p, resp.Data)
-	h.off += resp.N
-	return int(resp.N), nil
+	for i, r := range resps {
+		if r != nil && r.N < hi[i]-lo[i] {
+			return 0, fmt.Errorf("client: short stripe read from %s: %d < %d",
+				set[i], r.N, hi[i]-lo[i])
+		}
+	}
+	for u := g0 / unit; u <= (g1-1)/unit; u++ {
+		idx := int(u) % len(set)
+		segStart, segEnd := u*unit, (u+1)*unit
+		if segStart < g0 {
+			segStart = g0
+		}
+		if segEnd > g1 {
+			segEnd = g1
+		}
+		base := (u / int64(len(set))) * unit
+		llo := base + segStart - u*unit
+		copy(p[segStart-g0:segEnd-g0], resps[idx].Data[llo-lo[idx]:])
+	}
+	h.off += want
+	return int(want), nil
 }
 
 // Lseek repositions the handle. Whence follows POSIX: 0=set, 1=cur,
@@ -300,13 +728,94 @@ func (c *Client) CloseFd(fd int) error {
 	return nil
 }
 
-// Stat returns size and directory flag.
+// Stat returns size and directory flag. A striped file's size is the
+// sum of its stripes.
 func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
+	size, isDir, _, err = c.statFull(path)
+	return size, isDir, err
+}
+
+// layout is a file's stripe geometry as recorded in its metadata.
+type layoutInfo struct {
+	stripes int
+	unit    int64
+	set     []string
+}
+
+// statFull stats the path's ring owner to learn what it is — a
+// directory, an unstriped file, or a striped file whose layout the
+// creating client recorded in the metadata — then sums stripe sizes
+// across the recorded stripe set. If the ring owner has drifted since
+// creation and no longer holds the entry, every connected server is
+// consulted before giving up (metadata is findable as long as any
+// stripe server lives).
+func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, err error) {
 	resp, err := c.call(path, &transport.Request{Type: transport.MsgStat})
 	if err != nil {
-		return 0, false, err
+		resp = c.statAny(path)
+		if resp == nil {
+			return 0, false, lay, err
+		}
 	}
-	return resp.Size, resp.IsDir, nil
+	if resp.IsDir {
+		return 0, true, layoutInfo{stripes: 1}, nil
+	}
+	lay.stripes, lay.unit, lay.set = resp.Stripes, resp.StripeUnit, resp.StripeSet
+	if lay.stripes < 1 {
+		lay.stripes = 1
+	}
+	if lay.unit <= 0 {
+		lay.unit = c.opts.StripeUnit
+	}
+	if len(lay.set) == 0 {
+		lay.set = c.stripeSet(path, lay.stripes)
+	}
+	if len(lay.set) == 1 {
+		return resp.Size, false, lay, nil
+	}
+	// Sum sizes over the reachable stripe servers only: a stripe lost
+	// to failover contributes nothing (its bytes are gone), and the
+	// stat itself must not fail just because the layout names a dead
+	// member — Unlink needs the layout to clean such files up.
+	var live []string
+	c.mu.Lock()
+	for _, addr := range lay.set {
+		if _, ok := c.conns[addr]; ok {
+			live = append(live, addr)
+		}
+	}
+	c.mu.Unlock()
+	resps, err := c.fanOut(live, path, func(int) *transport.Request {
+		return &transport.Request{Type: transport.MsgStat}
+	})
+	if err != nil {
+		return 0, false, lay, err
+	}
+	for _, r := range resps {
+		size += r.Size
+	}
+	return size, false, lay, nil
+}
+
+// statAny broadcasts a stat to every connected server and returns the
+// first hit — the fallback path for entries the drifted ring owner no
+// longer holds.
+func (c *Client) statAny(path string) *transport.Response {
+	c.mu.Lock()
+	conns := make([]*serverConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	for _, sc := range conns {
+		resp, err := sc.call(&transport.Request{
+			Type: transport.MsgStat, Seq: c.seq.Add(1), Job: c.job, Path: path,
+		})
+		if err == nil && resp.Err == "" {
+			return resp
+		}
+	}
+	return nil
 }
 
 // broadcast sends the request to every server and collects responses.
@@ -315,13 +824,21 @@ func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
 // stored as files" with directory content spread across servers.
 func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transport.Response, error) {
 	var out []*transport.Response
+	c.mu.Lock()
+	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].addr < conns[j].addr })
+	for _, sc := range conns {
 		req := mk()
 		req.Seq = c.seq.Add(1)
 		req.Job = c.job
 		req.Path = path
 		resp, err := sc.call(req)
 		if err != nil {
+			c.markFailed(sc.addr)
 			return out, err
 		}
 		out = append(out, resp)
@@ -371,14 +888,30 @@ func (c *Client) Readdir(path string) ([]string, error) {
 	return names, nil
 }
 
-// Unlink removes a file (on its owner server) or a directory (on all).
+// Unlink removes a file (on its stripe servers) or a directory (on all).
+// Stripe servers that have failed over are skipped: their copy died with
+// them, and refusing to unlink a partially-lost file would leave its
+// stale layout squatting on the name forever.
 func (c *Client) Unlink(path string) error {
-	_, isDir, err := c.Stat(path)
+	_, isDir, lay, err := c.statFull(path)
 	if err != nil {
 		return err
 	}
 	if !isDir {
-		_, err := c.call(path, &transport.Request{Type: transport.MsgUnlink})
+		var live []string
+		c.mu.Lock()
+		for _, addr := range lay.set {
+			if _, ok := c.conns[addr]; ok {
+				live = append(live, addr)
+			}
+		}
+		c.mu.Unlock()
+		if len(live) == 0 {
+			return fmt.Errorf("client: no live stripe servers hold %s", path)
+		}
+		_, err := c.fanOut(live, path, func(int) *transport.Request {
+			return &transport.Request{Type: transport.MsgUnlink}
+		})
 		return err
 	}
 	resps, err := c.broadcast(path, func() *transport.Request {

@@ -1,0 +1,59 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"themisio/internal/client"
+)
+
+// BenchmarkStripedThroughput measures one client's aggregate bandwidth
+// (write + read back) against 1 and 4 servers with files striped over
+// the full fabric — the scaling claim of client-side striping: fan-out
+// parallelism grows with the server count.
+//
+// Run: go test -bench StripedThroughput ./internal/cluster/
+func BenchmarkStripedThroughput(b *testing.B) {
+	const payload = 8 << 20
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			_, addrs := startFabric(b, n)
+			c, err := client.DialOpts(jobInfo("bench"), addrs, client.Options{
+				Stripes: n, StripeUnit: 256 << 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			data := bytes.Repeat([]byte{0xa5}, payload)
+			got := make([]byte, payload)
+			b.SetBytes(2 * payload) // write + read per iteration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := fmt.Sprintf("/bench-%d.bin", i)
+				fd, err := c.Open(path, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Write(fd, data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Lseek(fd, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				if m, err := c.Read(fd, got); err != nil || m != payload {
+					b.Fatalf("read: n=%d err=%v", m, err)
+				}
+				if err := c.CloseFd(fd); err != nil {
+					b.Fatal(err)
+				}
+				// Unlink releases the extents so capacity never runs out
+				// regardless of b.N.
+				if err := c.Unlink(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

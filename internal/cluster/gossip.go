@@ -1,0 +1,343 @@
+// Gossip-based λ-sync: the epidemic push-pull exchange that replaces
+// the all-to-all MsgSync fan-out. Every λ round a node contacts k
+// uniformly random gossipable peers, pushes its job-table snapshot and
+// membership digest, and pulls the peer's in the reply. Push-pull
+// epidemic dissemination infects all N members in O(log N) rounds with
+// high probability, so every server's job table converges within a
+// small multiple of λ while each server maintains only k connections
+// per round instead of N-1.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"themisio/internal/jobtable"
+	"themisio/internal/transport"
+)
+
+// DefaultFanout is the gossip fan-out k when none is configured. Two
+// push-pull contacts per round keeps rumor spread comfortably
+// supercritical at the cluster sizes in the paper (1–128 servers).
+const DefaultFanout = 2
+
+// Config parameterizes a cluster node.
+type Config struct {
+	// Self is the advertised (listen) address of this server.
+	Self string
+	// Fanout is the number of random peers contacted per gossip round
+	// (non-positive selects DefaultFanout).
+	Fanout int
+	// FailTimeout confirms a suspect member failed after this sighting
+	// age (non-positive selects DefaultFailTimeout).
+	FailTimeout time.Duration
+	// Replicas is the ring virtual-node count (non-positive selects
+	// chash.DefaultReplicas).
+	Replicas int
+	// DialTimeout bounds one peer dial (default 500ms).
+	DialTimeout time.Duration
+	// Seed fixes the peer-selection stream for deterministic tests.
+	Seed int64
+}
+
+// Node binds a server's membership view, its job table, and the gossip
+// transport into one fabric endpoint. The owning server calls Gossip
+// every λ from its controller and routes incoming cluster control
+// messages to Handle.
+type Node struct {
+	cfg Config
+	mem *Membership
+	tab *jobtable.Table
+
+	// xmu serializes whole exchanges: request/response pairs on a
+	// cached connection must not interleave (responses carry no type,
+	// only Seq, and the exchange path matches them positionally).
+	xmu   sync.Mutex
+	mu    sync.Mutex
+	conns map[string]*transport.Conn
+	rng   *rand.Rand
+	seq   uint64
+}
+
+// NewNode creates a fabric endpoint for the server at cfg.Self whose
+// job table is tab.
+func NewNode(cfg Config, tab *jobtable.Table) *Node {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 500 * time.Millisecond
+	}
+	return &Node{
+		cfg:   cfg,
+		mem:   NewMembership(cfg.Self, cfg.FailTimeout, cfg.Replicas),
+		tab:   tab,
+		conns: map[string]*transport.Conn{},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Membership returns the node's membership view.
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Records converts a membership digest to its wire form.
+func Records(members []Member) []transport.MemberRecord {
+	out := make([]transport.MemberRecord, len(members))
+	for i, m := range members {
+		out[i] = transport.MemberRecord{Addr: m.Addr, State: uint8(m.State), Incarnation: m.Incarnation}
+	}
+	return out
+}
+
+// FromRecords converts a wire digest back to membership rumors.
+func FromRecords(recs []transport.MemberRecord) []Member {
+	out := make([]Member, len(recs))
+	for i, r := range recs {
+		out[i] = Member{Addr: r.Addr, State: State(r.State), Incarnation: r.Incarnation}
+	}
+	return out
+}
+
+// Join contacts the seed addresses, announces self, and merges the
+// returned membership and job table. One reachable seed suffices; the
+// error reports only total failure.
+func (n *Node) Join(seeds []string, now time.Duration) error {
+	if len(seeds) == 0 {
+		return nil
+	}
+	var lastErr error
+	joined := false
+	for _, addr := range seeds {
+		if addr == "" || addr == n.cfg.Self {
+			continue
+		}
+		resp, err := n.exchange(addr, transport.MsgJoin, now)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		n.absorb(addr, resp, now)
+		joined = true
+	}
+	if !joined && lastErr != nil {
+		return fmt.Errorf("cluster: join: %w", lastErr)
+	}
+	return nil
+}
+
+// Gossip runs one λ round at time now: failure-detection tick, then a
+// push-pull exchange with up to Fanout random gossipable peers. It
+// returns true if the job table or membership changed (the caller
+// recompiles token assignments).
+func (n *Node) Gossip(now time.Duration) bool {
+	changed := len(n.mem.Tick(now)) > 0
+	peers := n.mem.Peers()
+	for _, addr := range n.sample(peers, n.cfg.Fanout) {
+		resp, err := n.exchange(addr, transport.MsgGossip, now)
+		if err != nil {
+			n.mem.ReportFailure(addr, now)
+			continue
+		}
+		if n.absorb(addr, resp, now) {
+			changed = true
+		}
+	}
+	if n.scrub() {
+		changed = true
+	}
+	return changed
+}
+
+// sample picks up to k distinct elements of peers uniformly at random.
+func (n *Node) sample(peers []string, k int) []string {
+	if len(peers) <= k {
+		return peers
+	}
+	n.mu.Lock()
+	idx := n.rng.Perm(len(peers))[:k]
+	n.mu.Unlock()
+	out := make([]string, 0, k)
+	for _, i := range idx {
+		out = append(out, peers[i])
+	}
+	return out
+}
+
+// exchange performs one request/response round trip with a peer over a
+// cached connection, redialing once on a stale connection.
+func (n *Node) exchange(addr string, typ transport.MsgType, now time.Duration) (*transport.Response, error) {
+	n.xmu.Lock()
+	defer n.xmu.Unlock()
+	req := &transport.Request{
+		Type:    typ,
+		From:    n.cfg.Self,
+		Table:   n.tab.Snapshot(),
+		Members: Records(n.mem.Snapshot()),
+	}
+	n.mu.Lock()
+	req.Seq = n.seq + 1
+	n.seq++
+	c := n.conns[addr]
+	n.mu.Unlock()
+	if c != nil {
+		if resp, err := n.roundTrip(c, req); err == nil {
+			return resp, nil
+		}
+		n.dropConn(addr, c)
+	}
+	raw, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c = transport.NewConn(raw)
+	n.mu.Lock()
+	n.conns[addr] = c
+	n.mu.Unlock()
+	resp, err := n.roundTrip(c, req)
+	if err != nil {
+		n.dropConn(addr, c)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (n *Node) roundTrip(c *transport.Conn, req *transport.Request) (*transport.Response, error) {
+	// A deadline bounds the whole exchange: a peer that accepted the
+	// connection but never replies (wedged process, half-open socket)
+	// must not stall the caller's λ loop — and with it failure
+	// detection — forever.
+	_ = c.SetDeadline(time.Now().Add(4 * n.cfg.DialTimeout))
+	defer c.SetDeadline(time.Time{})
+	if err := c.SendRequest(req); err != nil {
+		return nil, err
+	}
+	resp, err := c.RecvResponse()
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (n *Node) dropConn(addr string, c *transport.Conn) {
+	c.Close()
+	n.mu.Lock()
+	if n.conns[addr] == c {
+		delete(n.conns, addr)
+	}
+	n.mu.Unlock()
+}
+
+// absorb merges a pull reply from addr into the local view.
+func (n *Node) absorb(addr string, resp *transport.Response, now time.Duration) bool {
+	n.mem.Sighting(addr, now)
+	changed := len(n.mem.Merge(FromRecords(resp.Members), now)) > 0
+	if n.tab.Merge(resp.Table, now) {
+		changed = true
+	}
+	if n.scrub() {
+		changed = true
+	}
+	return changed
+}
+
+// Handle services an incoming cluster control request (the server's
+// communicator routes MsgGossip/MsgJoin/MsgLeave/MsgClusterStatus/
+// MsgDrain here) and returns the reply frame.
+func (n *Node) Handle(req *transport.Request, now time.Duration) *transport.Response {
+	resp := &transport.Response{Seq: req.Seq}
+	switch req.Type {
+	case transport.MsgGossip, transport.MsgJoin:
+		if req.From != "" {
+			n.mem.Sighting(req.From, now)
+		}
+		n.mem.Merge(FromRecords(req.Members), now)
+		n.tab.Merge(req.Table, now)
+		n.scrub()
+		resp.Table = n.tab.Snapshot()
+		resp.Members = Records(n.mem.Snapshot())
+		resp.Epoch = n.mem.Epoch()
+	case transport.MsgLeave:
+		n.mem.Merge(FromRecords(req.Members), now)
+		if req.From != "" {
+			n.tab.DropServer(req.From)
+		}
+		n.scrub()
+		resp.Members = Records(n.mem.Snapshot())
+	case transport.MsgDrain:
+		n.mem.Drain()
+		resp.Members = Records(n.mem.Snapshot())
+		resp.Epoch = n.mem.Epoch()
+	case transport.MsgClusterStatus:
+		resp.Members = Records(n.mem.Snapshot())
+		resp.Epoch = n.mem.Epoch()
+	default:
+		resp.Err = fmt.Sprintf("cluster: unexpected %v", req.Type)
+	}
+	return resp
+}
+
+// scrub removes failed and departed members' job-table sightings so
+// each affected job's presence — and with it the 1/k token deweighting
+// — shifts to the surviving servers (the failover half of Figure 5's
+// token-count reconciliation). It runs after every merge, not just on
+// the failure transition, because a merge from a peer that has not yet
+// learned of the failure would otherwise resurrect the dead server in
+// the union of observed-server sets. Reports whether anything changed.
+func (n *Node) scrub() bool {
+	changed := false
+	for _, m := range n.mem.Snapshot() {
+		if m.State == StateFailed || m.State == StateLeft {
+			if n.tab.DropServer(m.Addr) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Leave gossips a final departure digest to up to Fanout peers and
+// closes all cached connections.
+func (n *Node) Leave(now time.Duration) {
+	n.mem.Leave()
+	req := &transport.Request{
+		Type:    transport.MsgLeave,
+		From:    n.cfg.Self,
+		Members: Records(n.mem.Snapshot()),
+	}
+	n.xmu.Lock()
+	defer n.xmu.Unlock()
+	for _, addr := range n.sample(n.mem.Peers(), n.cfg.Fanout) {
+		n.mu.Lock()
+		c := n.conns[addr]
+		n.mu.Unlock()
+		if c == nil {
+			raw, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+			if err != nil {
+				continue
+			}
+			c = transport.NewConn(raw)
+			n.mu.Lock()
+			n.conns[addr] = c
+			n.mu.Unlock()
+		}
+		_ = c.SetDeadline(time.Now().Add(4 * n.cfg.DialTimeout))
+		if err := c.SendRequest(req); err == nil {
+			_, _ = c.RecvResponse()
+		}
+		_ = c.SetDeadline(time.Time{})
+	}
+	n.Close()
+}
+
+// Close tears down cached peer connections.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for addr, c := range n.conns {
+		c.Close()
+		delete(n.conns, addr)
+	}
+}

@@ -1,0 +1,247 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"themisio/internal/client"
+	"themisio/internal/cluster"
+	"themisio/internal/policy"
+	"themisio/internal/server"
+)
+
+const itLambda = 25 * time.Millisecond
+
+// startFabric launches n live servers joined into one cluster through
+// server 0, with gossip fan-out strictly below n-1 so no server ever
+// holds all-to-all connections.
+func startFabric(t testing.TB, n int) ([]*server.Server, []string) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := range lns {
+		cfg := server.Config{
+			Policy:       policy.SizeFair,
+			Lambda:       itLambda,
+			FailTimeout:  6 * itLambda,
+			GossipFanout: 1,
+			Seed:         int64(i + 1),
+			Quiet:        true,
+		}
+		if i > 0 {
+			cfg.Join = []string{addrs[0]}
+		}
+		servers[i] = server.New(lns[i], cfg)
+		go servers[i].Serve()
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return servers, addrs
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) time.Duration {
+	t.Helper()
+	start := time.Now()
+	for time.Since(start) < d {
+		if cond() {
+			return time.Since(start)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+	return 0
+}
+
+func jobInfo(id string) policy.JobInfo {
+	return policy.JobInfo{JobID: id, UserID: "u-" + id, GroupID: "g", Nodes: 4}
+}
+
+// TestFabricLive is the end-to-end cluster walkthrough of the issue:
+// four live servers form a fabric by gossip (fan-out 1, so nobody
+// talks to everybody), a job heartbeating a single server becomes
+// globally visible within a small multiple of λ, striped I/O round
+// trips across all four servers, and after one server is killed its
+// ring segment reassigns and the survivors keep serving.
+func TestFabricLive(t *testing.T) {
+	servers, addrs := startFabric(t, 4)
+
+	// Membership convergence: every server sees all four members alive.
+	waitFor(t, 5*time.Second, "membership convergence", func() bool {
+		for _, s := range servers {
+			n := 0
+			for _, m := range s.Cluster().Membership().Snapshot() {
+				if m.State == cluster.StateAlive {
+					n++
+				}
+			}
+			if n != len(servers) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Gossip λ-sync: a job known to one server spreads to all job
+	// tables in O(log N) gossip rounds — budget a small multiple of λ.
+	solo, err := client.Dial(jobInfo("solo"), addrs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	elapsed := waitFor(t, 5*time.Second, "job-table convergence", func() bool {
+		for _, s := range servers {
+			found := false
+			for _, e := range s.Table().Snapshot() {
+				if e.Info.JobID == "solo" {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+	if elapsed > 20*itLambda {
+		t.Errorf("job table converged in %v, want within 20λ = %v", elapsed, 20*itLambda)
+	}
+
+	// Striped round trip across all four servers.
+	c, err := client.DialOpts(jobInfo("stripe"), addrs, client.Options{
+		Stripes: 4, StripeUnit: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	served := make([]int64, len(servers))
+	for i, s := range servers {
+		served[i] = s.Served()
+	}
+	fd, err := c.Open("/data/striped.bin", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if n, err := c.Write(fd, data); err != nil || n != len(data) {
+		t.Fatalf("striped write: n=%d err=%v", n, err)
+	}
+	for i, s := range servers {
+		if s.Served() <= served[i] {
+			t.Fatalf("server %d saw no striped traffic", i)
+		}
+	}
+	if size, _, err := c.Stat("/data/striped.bin"); err != nil || size != int64(len(data)) {
+		t.Fatalf("striped stat: size=%d err=%v", size, err)
+	}
+	if _, err := c.Lseek(fd, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if n, err := c.Read(fd, got); err != nil || n != len(data) {
+		t.Fatalf("striped read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped read mismatch")
+	}
+	// Unaligned interior read crossing several stripe units.
+	const off, ln = 4097*3 + 11, 40000
+	if _, err := c.Lseek(fd, off, 0); err != nil {
+		t.Fatal(err)
+	}
+	part := make([]byte, ln)
+	if n, err := c.Read(fd, part); err != nil || n != ln {
+		t.Fatalf("interior read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(part, data[off:off+ln]) {
+		t.Fatal("interior read mismatch")
+	}
+
+	// Failover: kill server 3 without a goodbye. The fabric suspects,
+	// times out, and fails it; its ring segment reassigns.
+	dead := addrs[3]
+	servers[3].Close()
+	waitFor(t, 5*time.Second, "failure detection", func() bool {
+		for _, s := range servers[:3] {
+			m, ok := s.Cluster().Membership().Lookup(dead)
+			if !ok || m.State != cluster.StateFailed {
+				return false
+			}
+		}
+		return true
+	})
+	for i, s := range servers[:3] {
+		nodes := s.Cluster().Membership().Ring().Nodes()
+		if len(nodes) != 3 {
+			t.Fatalf("server %d ring = %v after failover", i, nodes)
+		}
+		for _, n := range nodes {
+			if n == dead {
+				t.Fatalf("server %d ring still owns %s", i, dead)
+			}
+		}
+	}
+	// The dead server's job-table sightings are scrubbed, so presence
+	// deweighting shifts entirely onto the survivors.
+	waitFor(t, 5*time.Second, "presence scrub", func() bool {
+		for _, s := range servers[:3] {
+			for _, e := range s.Table().Snapshot() {
+				if e.Servers[dead] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// Jobs are still served under the policy: striped I/O continues on
+	// the survivors once the client's ring reassigns (its first attempt
+	// may consume the error that teaches it the server is gone).
+	var fd2 int
+	waitFor(t, 5*time.Second, "post-failover write", func() bool {
+		fd2, err = c.Open(fmt.Sprintf("/data/after-%d.bin", time.Now().UnixNano()), true)
+		if err != nil {
+			return false
+		}
+		_, err = c.Write(fd2, data[:1<<18])
+		return err == nil
+	})
+	if len(c.Servers()) != 3 {
+		t.Fatalf("client ring = %v after failover", c.Servers())
+	}
+	if _, err := c.Lseek(fd2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := make([]byte, 1<<18)
+	if n, err := c.Read(fd2, after); err != nil || n != len(after) {
+		t.Fatalf("post-failover read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(after, data[:1<<18]) {
+		t.Fatal("post-failover read mismatch")
+	}
+	if share := servers[0].Scheduler().Share("stripe"); share <= 0 {
+		t.Fatalf("stripe job share = %v on survivor", share)
+	}
+}

@@ -108,6 +108,9 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep takes ~3s")
+	}
 	m := metricsOf(t, Fig12())
 	// ThemisIO sustains a double-digit peak advantage over both.
 	if m["peak_gain_vs_gift_pct"] < 8 || m["peak_gain_vs_gift_pct"] > 20 {
@@ -155,6 +158,9 @@ func TestAblationShape(t *testing.T) {
 }
 
 func TestMetadataIsolationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metadata-storm scenario takes ~20s")
+	}
 	m := metricsOf(t, Metadata())
 	if m["fair_victim_gbps"] < 3*m["fifo_victim_gbps"] {
 		t.Fatalf("job-fair should rescue the victim's data path: %.2f vs %.2f GB/s",

@@ -37,8 +37,15 @@ type FileInfo struct {
 	Path  string
 	Size  int64
 	IsDir bool
-	// Stripes is the number of shards the file's data spans.
-	Stripes int
+	// Stripes is the number of shards the file's data spans; StripeUnit
+	// is the bytes per stripe chunk. Both are laid down at creation so
+	// any client can discover a file's layout from a stat.
+	Stripes    int
+	StripeUnit int64
+	// StripeSet is the ordered server set holding the stripes, fixed at
+	// creation; readers follow it instead of re-deriving placement from
+	// a ring that may have changed since.
+	StripeSet []string
 }
 
 // node is one namespace entry on a shard.
@@ -47,6 +54,8 @@ type node struct {
 	children map[string]bool // directories: child names
 	index    *storage.Index  // files: local extent index
 	stripes  int
+	unit     int64
+	set      []string
 }
 
 // Shard is the per-server piece of the file system: the namespace
@@ -89,14 +98,14 @@ func clean(p string) string {
 // shard. The router calls this on the owner shard of the path, and
 // separately updates the parent directory ("directory and file creation
 // updates the content of the parent directory", §4.3).
-func (s *Shard) CreateEntry(p string, dir bool, stripes int) error {
+func (s *Shard) CreateEntry(p string, dir bool, stripes int, unit int64, set []string) error {
 	p = clean(p)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.nodes[p]; ok {
 		return ErrExist
 	}
-	n := &node{isDir: dir, stripes: stripes}
+	n := &node{isDir: dir, stripes: stripes, unit: unit, set: set}
 	if dir {
 		n.children = map[string]bool{}
 	} else {
@@ -169,7 +178,7 @@ func (s *Shard) Stat(p string) (FileInfo, error) {
 	if !ok {
 		return FileInfo{}, ErrNotExist
 	}
-	fi := FileInfo{Path: p, IsDir: n.isDir, Stripes: n.stripes}
+	fi := FileInfo{Path: p, IsDir: n.isDir, Stripes: n.stripes, StripeUnit: n.unit, StripeSet: n.set}
 	if n.index != nil {
 		fi.Size = n.index.Size()
 	}
@@ -328,7 +337,7 @@ func (r *Router) Mkdir(p string) error {
 		}
 		return ErrNotDir
 	}
-	if err := r.owner(p).CreateEntry(p, true, 0); err != nil {
+	if err := r.owner(p).CreateEntry(p, true, 0, 0, nil); err != nil {
 		return err
 	}
 	return r.owner(parent).AddChild(parent, name)
@@ -338,6 +347,18 @@ func (r *Router) Mkdir(p string) error {
 // namespace entry lands on the owner shard and a stripe entry on each
 // shard in the stripe set.
 func (r *Router) Create(p string) error {
+	return r.create(p, 0, 0, nil)
+}
+
+// CreateStriped creates an empty file recording an explicit stripe
+// layout (width and unit) in its metadata. The live server uses this
+// for client-driven striping: each server holds one local stripe, but
+// the recorded layout lets any later client discover it from a stat.
+func (r *Router) CreateStriped(p string, stripes int, unit int64, set []string) error {
+	return r.create(p, stripes, unit, set)
+}
+
+func (r *Router) create(p string, stripes int, unit int64, set []string) error {
 	p = clean(p)
 	parent, name := path.Split(p)
 	parent = clean(parent)
@@ -347,9 +368,15 @@ func (r *Router) Create(p string) error {
 		}
 		return ErrNotDir
 	}
-	set := r.stripeSet(p)
-	for _, sh := range set {
-		if err := sh.CreateEntry(p, false, len(set)); err != nil {
+	shards := r.stripeSet(p)
+	if stripes <= 0 {
+		stripes = len(shards)
+	}
+	if unit <= 0 {
+		unit = r.stripe
+	}
+	for _, sh := range shards {
+		if err := sh.CreateEntry(p, false, stripes, unit, set); err != nil {
 			return err
 		}
 	}

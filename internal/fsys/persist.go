@@ -30,11 +30,13 @@ const (
 
 // snapshotEntry is one serialized namespace entry.
 type snapshotEntry struct {
-	Path    string
-	IsDir   bool
-	Stripes int
-	Childs  []string
-	Data    []byte // file contents (local stripe), reassembled from extents
+	Path       string
+	IsDir      bool
+	Stripes    int
+	StripeUnit int64
+	StripeSet  []string
+	Childs     []string
+	Data       []byte // file contents (local stripe), reassembled from extents
 }
 
 // Snapshot serializes the shard: namespace entries in path order, each
@@ -49,7 +51,7 @@ func (s *Shard) Snapshot(w io.Writer) error {
 	entries := make([]snapshotEntry, 0, len(paths))
 	for _, p := range paths {
 		n := s.nodes[p]
-		e := snapshotEntry{Path: p, IsDir: n.isDir, Stripes: n.stripes}
+		e := snapshotEntry{Path: p, IsDir: n.isDir, Stripes: n.stripes, StripeUnit: n.unit, StripeSet: n.set}
 		if n.isDir {
 			for c := range n.children {
 				e.Childs = append(e.Childs, c)
@@ -117,7 +119,7 @@ func RestoreShard(r io.Reader, capacity int64) (*Shard, error) {
 			}
 			continue
 		}
-		if err := s.CreateEntry(e.Path, e.IsDir, e.Stripes); err != nil {
+		if err := s.CreateEntry(e.Path, e.IsDir, e.Stripes, e.StripeUnit, e.StripeSet); err != nil {
 			return nil, fmt.Errorf("fsys: restoring %s: %w", e.Path, err)
 		}
 		if e.IsDir {

@@ -259,6 +259,24 @@ func (t *Table) Merge(snap []Entry, now time.Duration) bool {
 	return changed
 }
 
+// DropServer removes a server from every entry's observed-server set —
+// the failover path: when the cluster fabric declares a member failed,
+// each job that was present on it sheds that presence, so the 1/k token
+// deweighting (Figure 5) shifts the job's share onto the survivors.
+// Returns true if any entry changed.
+func (t *Table) DropServer(server string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := false
+	for _, e := range t.entries {
+		if e.Servers[server] {
+			delete(e.Servers, server)
+			changed = true
+		}
+	}
+	return changed
+}
+
 // AllGather performs the λ-interval synchronization across a set of
 // tables: every table merges every other table's snapshot. After the call
 // all tables agree on the global active job set and per-job presence.

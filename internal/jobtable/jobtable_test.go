@@ -206,3 +206,29 @@ func itoa(i int) string {
 	}
 	return string(b)
 }
+
+// DropServer is the failover path: a failed server's sightings vanish
+// from every entry, so presence (and the 1/k deweighting) shifts onto
+// the survivors.
+func TestDropServerShiftsPresence(t *testing.T) {
+	a := New("s1", time.Second)
+	b := New("s2", time.Second)
+	a.Observe(info("j", 4), 0)
+	b.Observe(info("j", 4), 0)
+	AllGather([]*Table{a, b}, 0)
+	if act := a.Active(0); act[0].Presence != 2 {
+		t.Fatalf("presence = %d before drop, want 2", act[0].Presence)
+	}
+	if !a.DropServer("s2") {
+		t.Fatal("DropServer should report a change")
+	}
+	if a.DropServer("s2") {
+		t.Fatal("second DropServer should be a no-op")
+	}
+	if act := a.Active(0); act[0].Presence != 1 {
+		t.Fatalf("presence = %d after drop, want 1", act[0].Presence)
+	}
+	if !a.Snapshot()[0].Servers["s1"] {
+		t.Fatal("surviving server's sighting must remain")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"themisio/internal/cluster"
 	"themisio/internal/core"
 	"themisio/internal/fsys"
 	"themisio/internal/jobtable"
@@ -47,8 +48,19 @@ type Config struct {
 	// regime — the only regime where fairness matters — would be
 	// unreachable in tests). Zero disables it.
 	OpDelay time.Duration
-	// Peers are the addresses of other servers for λ-sync.
+	// Peers are the addresses of other servers. Historically this drove
+	// the all-to-all MsgSync fan-out; it now seeds the gossip fabric
+	// (equivalent to Join) so existing deployments keep working.
 	Peers []string
+	// Join lists existing cluster members to join through; the join is
+	// retried each λ until one seed answers, so start order is free.
+	Join []string
+	// GossipFanout is the number of random peers contacted per λ round
+	// (default cluster.DefaultFanout).
+	GossipFanout int
+	// FailTimeout confirms a suspect peer failed after this sighting age
+	// (default 6×Lambda).
+	FailTimeout time.Duration
 	// Quiet disables logging.
 	Quiet bool
 }
@@ -58,6 +70,7 @@ type Server struct {
 	cfg    Config
 	sched  *core.Themis
 	table  *jobtable.Table
+	node   *cluster.Node
 	shard  *fsys.Shard
 	router *fsys.Router
 	start  time.Time
@@ -66,6 +79,13 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	notEmpty chan struct{}
+
+	// connMu guards conns, the accepted connections still being served;
+	// Close force-closes them so communicator goroutines blocked in
+	// RecvRequest unwind (a peer's cached gossip connection would
+	// otherwise keep the server alive past Close).
+	connMu sync.Mutex
+	conns  map[*transport.Conn]struct{}
 
 	served atomic.Int64
 }
@@ -84,16 +104,28 @@ func New(ln net.Listener, cfg Config) *Server {
 	if len(cfg.Policy.Levels) == 0 && !cfg.Policy.FIFO {
 		cfg.Policy = policy.SizeFair
 	}
-	shard := fsys.NewShard(ln.Addr().String(), cfg.Capacity)
+	if cfg.FailTimeout <= 0 {
+		cfg.FailTimeout = 6 * cfg.Lambda
+	}
+	addr := ln.Addr().String()
+	shard := fsys.NewShard(addr, cfg.Capacity)
+	table := jobtable.New(addr, cfg.HeartbeatTimeout)
 	s := &Server{
-		cfg:      cfg,
-		sched:    core.New(cfg.Policy, cfg.Seed),
-		table:    jobtable.New(ln.Addr().String(), cfg.HeartbeatTimeout),
+		cfg:   cfg,
+		sched: core.New(cfg.Policy, cfg.Seed),
+		table: table,
+		node: cluster.NewNode(cluster.Config{
+			Self:        addr,
+			Fanout:      cfg.GossipFanout,
+			FailTimeout: cfg.FailTimeout,
+			Seed:        cfg.Seed,
+		}, table),
 		shard:    shard,
 		router:   fsys.NewRouter([]*fsys.Shard{shard}, 1, 0),
 		start:    time.Now(),
 		ln:       ln,
 		notEmpty: make(chan struct{}, 1),
+		conns:    map[*transport.Conn]struct{}{},
 	}
 	return s
 }
@@ -106,6 +138,12 @@ func (s *Server) Served() int64 { return s.served.Load() }
 
 // Scheduler exposes the Themis scheduler for inspection (themisctl).
 func (s *Server) Scheduler() *core.Themis { return s.sched }
+
+// Cluster exposes the server's fabric endpoint (membership, ring).
+func (s *Server) Cluster() *cluster.Node { return s.node }
+
+// Table exposes the job status table for inspection and tests.
+func (s *Server) Table() *jobtable.Table { return s.table }
 
 // now returns time since server start (the jobtable clock domain).
 func (s *Server) now() time.Duration { return time.Since(s.start) }
@@ -134,13 +172,30 @@ func (s *Server) Serve() {
 	}
 }
 
-// Close stops the server and waits for goroutines.
+// Close stops the server and waits for goroutines. It does not notify
+// the cluster: peers detect the silence and fail this member over (the
+// crash path). Use Leave for a graceful departure.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
 	s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
+}
+
+// Leave announces a graceful departure to the fabric, then stops the
+// server: peers mark this member left immediately instead of waiting
+// out the failure timeout.
+func (s *Server) Leave() {
+	if !s.closed.Load() {
+		s.node.Leave(s.now())
+	}
+	s.Close()
 }
 
 // handleConn is the communicator: it decodes requests, feeds the job
@@ -148,6 +203,18 @@ func (s *Server) Close() {
 func (s *Server) handleConn(c *transport.Conn) {
 	defer s.wg.Done()
 	defer c.Close()
+	s.connMu.Lock()
+	if s.closed.Load() {
+		s.connMu.Unlock()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+	}()
 	for {
 		req, err := c.RecvRequest()
 		if err != nil {
@@ -161,10 +228,18 @@ func (s *Server) handleConn(c *transport.Conn) {
 			s.sched.SetJobs(s.table.Active(s.now()))
 			continue
 		case transport.MsgSync:
-			// Peer server table merge (the receive side of the λ
-			// all-gather).
+			// Legacy peer table merge (the receive side of the static
+			// all-gather); kept so mixed-version peers still sync.
 			s.table.Merge(req.Table, s.now())
 			s.sched.SetJobs(s.table.Active(s.now()))
+			continue
+		case transport.MsgGossip, transport.MsgJoin, transport.MsgLeave,
+			transport.MsgClusterStatus, transport.MsgDrain:
+			resp := s.node.Handle(req, s.now())
+			s.sched.SetJobs(s.table.Active(s.now()))
+			if err := c.SendResponse(resp); err != nil {
+				return
+			}
 			continue
 		}
 		s.table.Observe(req.Job, s.now())
@@ -254,8 +329,14 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 	}
 	switch req.Type {
 	case transport.MsgCreate:
-		if err := s.router.Create(req.Path); err != nil {
-			return fail(err)
+		if err := s.router.CreateStriped(req.Path, req.Stripes, req.StripeUnit, req.StripeSet); err != nil {
+			// Open-or-create (POSIX O_CREAT without O_EXCL): an existing
+			// file is not an error. This also makes striped creates
+			// retry-safe — a create that reached only part of the stripe
+			// set before a server failed can simply be reissued.
+			if fi, serr := s.router.Stat(req.Path); serr != nil || fi.IsDir {
+				return fail(err)
+			}
 		}
 	case transport.MsgOpen:
 		if _, err := s.router.Stat(req.Path); err != nil {
@@ -283,6 +364,8 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 		resp.Size = fi.Size
 		resp.IsDir = fi.IsDir
 		resp.Stripes = fi.Stripes
+		resp.StripeUnit = fi.StripeUnit
+		resp.StripeSet = fi.StripeSet
 	case transport.MsgMkdir:
 		if err := s.router.Mkdir(req.Path); err != nil {
 			return fail(err)
@@ -302,36 +385,30 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 }
 
 // controller refreshes the scheduler's job view on heartbeat expiry and
-// pushes λ-interval table snapshots to peer servers.
+// runs the λ-interval gossip round: join (retried until a seed answers,
+// so start order is free), then an epidemic push-pull exchange with k
+// random peers per round in place of the old all-to-all MsgSync fan-out.
 func (s *Server) controller() {
 	defer s.wg.Done()
+	defer s.node.Close()
 	tick := time.NewTicker(s.cfg.Lambda)
 	defer tick.Stop()
-	var peers []*transport.Conn
+	seeds := append(append([]string{}, s.cfg.Join...), s.cfg.Peers...)
+	joined := len(seeds) == 0
 	for !s.closed.Load() {
 		<-tick.C
 		if s.closed.Load() {
 			break
 		}
 		s.table.Expire(s.now(), 0)
-		s.sched.SetJobs(s.table.Active(s.now()))
-		// Lazy peer dial; a peer that is down is skipped this round.
-		if len(peers) != len(s.cfg.Peers) {
-			peers = peers[:0]
-			for _, addr := range s.cfg.Peers {
-				raw, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
-				if err != nil {
-					continue
-				}
-				peers = append(peers, transport.NewConn(raw))
+		if !joined {
+			if err := s.node.Join(seeds, s.now()); err == nil {
+				joined = true
+			} else if !s.cfg.Quiet {
+				log.Printf("themisd: join pending: %v", err)
 			}
 		}
-		snap := s.table.Snapshot()
-		for _, p := range peers {
-			_ = p.SendRequest(&transport.Request{Type: transport.MsgSync, Table: snap})
-		}
-	}
-	for _, p := range peers {
-		p.Close()
+		s.node.Gossip(s.now())
+		s.sched.SetJobs(s.table.Active(s.now()))
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"themisio/internal/jobtable"
 	"themisio/internal/policy"
@@ -37,17 +38,34 @@ const (
 	MsgUnlink
 	MsgHeartbeat
 	MsgBye
-	MsgSync // server↔server job-table all-gather
+	MsgSync // server↔server job-table all-gather (legacy static-peer mode)
+
+	// Cluster-fabric control traffic (internal/cluster).
+	MsgGossip        // push-pull λ exchange: job table + membership digest
+	MsgJoin          // a starting server announces itself to a seed
+	MsgLeave         // graceful departure notice
+	MsgClusterStatus // operator query: membership + ring epoch
+	MsgDrain         // operator request: mark the receiving server draining
 )
 
 // String names the message type.
 func (m MsgType) String() string {
 	names := []string{"open", "create", "read", "write", "close", "stat",
-		"mkdir", "readdir", "unlink", "heartbeat", "bye", "sync"}
+		"mkdir", "readdir", "unlink", "heartbeat", "bye", "sync",
+		"gossip", "join", "leave", "cluster-status", "drain"}
 	if int(m) < len(names) {
 		return names[m]
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))
+}
+
+// MemberRecord is the wire form of a cluster membership rumor. The
+// cluster package converts to and from its Member type; transport keeps
+// only the codec so the dependency points upward (cluster → transport).
+type MemberRecord struct {
+	Addr        string
+	State       uint8
+	Incarnation uint64
 }
 
 // Request is a client→server (or server→server, for MsgSync) message.
@@ -61,8 +79,25 @@ type Request struct {
 	Size   int64
 	Data   []byte
 
-	// Table carries job status entries for MsgSync.
+	// Stripes, StripeUnit and StripeSet are the file's stripe layout,
+	// sent with MsgCreate so the servers record it in the file
+	// metadata; any later client then discovers the layout from a stat
+	// instead of guessing from its own configuration or deriving the
+	// server set from a ring that may have drifted since creation.
+	Stripes    int
+	StripeUnit int64
+	StripeSet  []string
+
+	// Table carries job status entries for MsgSync and MsgGossip.
 	Table []jobtable.Entry
+
+	// From is the sender's advertised address for cluster control
+	// messages (the accepted socket's remote port is ephemeral, so the
+	// listen address must ride in the frame).
+	From string
+	// Members carries the membership digest for MsgGossip/MsgJoin/
+	// MsgLeave.
+	Members []MemberRecord
 }
 
 // Response answers a Request, matched by Seq.
@@ -73,10 +108,18 @@ type Response struct {
 	Data []byte
 
 	// Stat results.
-	Size    int64
-	IsDir   bool
-	Names   []string
-	Stripes int
+	Size       int64
+	IsDir      bool
+	Names      []string
+	Stripes    int
+	StripeUnit int64
+	StripeSet  []string
+
+	// Pull half of a gossip exchange (MsgGossip/MsgJoin replies), and
+	// the MsgClusterStatus answer.
+	Table   []jobtable.Entry
+	Members []MemberRecord
+	Epoch   uint64
 }
 
 // Error materializes the response error, nil if none.
@@ -134,6 +177,11 @@ func (c *Conn) RecvResponse() (*Response, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline bounds both reads and writes on the underlying
+// connection; the zero time clears it. Control-plane exchanges use
+// this so one wedged peer cannot stall a server's λ loop forever.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"themisio/internal/jobtable"
 	"themisio/internal/policy"
@@ -136,5 +137,58 @@ func TestMsgTypeStrings(t *testing.T) {
 	}
 	if MsgType(99).String() == "" {
 		t.Fatal("unknown type should render")
+	}
+}
+
+// The cluster control frames (gossip push-pull, join, status) carry a
+// job-table snapshot and a membership digest both ways; make sure the
+// new fields survive the gob round trip.
+func TestGossipFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	req := &Request{
+		Type: MsgGossip,
+		Seq:  42,
+		From: "127.0.0.1:7001",
+		Table: []jobtable.Entry{{
+			Info:    policy.JobInfo{JobID: "j1", UserID: "u1", Nodes: 4},
+			Last:    3 * time.Second,
+			Servers: map[string]bool{"127.0.0.1:7001": true},
+			Demand:  9,
+		}},
+		Members: []MemberRecord{
+			{Addr: "127.0.0.1:7000", State: 0, Incarnation: 1},
+			{Addr: "127.0.0.1:7001", State: 3, Incarnation: 5},
+		},
+	}
+	go func() { _ = ca.SendRequest(req) }()
+	got, err := cb.RecvRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgGossip || got.From != req.From || len(got.Members) != 2 ||
+		got.Members[1].Incarnation != 5 || !got.Table[0].Servers["127.0.0.1:7001"] {
+		t.Fatalf("request round trip lost fields: %+v", got)
+	}
+	resp := &Response{
+		Seq:     42,
+		Epoch:   7,
+		Table:   req.Table,
+		Members: req.Members,
+	}
+	go func() { _ = cb.SendResponse(resp) }()
+	rgot, err := ca.RecvResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgot.Epoch != 7 || len(rgot.Members) != 2 || len(rgot.Table) != 1 {
+		t.Fatalf("response round trip lost fields: %+v", rgot)
+	}
+	for _, m := range []MsgType{MsgGossip, MsgJoin, MsgLeave, MsgClusterStatus, MsgDrain} {
+		if m.String() == "" || m.String()[0] == 'm' {
+			t.Fatalf("missing name for %d", uint8(m))
+		}
 	}
 }

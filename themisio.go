@@ -2,10 +2,10 @@ package themisio
 
 import (
 	"net"
-	"time"
 
 	"themisio/internal/bb"
 	"themisio/internal/client"
+	"themisio/internal/cluster"
 	"themisio/internal/core"
 	"themisio/internal/policy"
 	"themisio/internal/sched"
@@ -34,6 +34,14 @@ type (
 	Cluster = bb.Cluster
 	// ClusterConfig parameterizes a simulated cluster.
 	ClusterConfig = bb.Config
+	// ClientOptions tunes client striping.
+	ClientOptions = client.Options
+	// Membership is one server's view of the cluster member set.
+	Membership = cluster.Membership
+	// Member is a gossiped membership record.
+	Member = cluster.Member
+	// ClusterNode is a server's fabric endpoint (membership + gossip).
+	ClusterNode = cluster.Node
 )
 
 // Predefined policies in the paper's notation.
@@ -61,6 +69,13 @@ func NewServer(ln net.Listener, cfg ServerConfig) *Server { return server.New(ln
 // Dial connects a client to live servers under the job identity.
 func Dial(job JobInfo, servers []string) (*Client, error) { return client.Dial(job, servers) }
 
+// DialStriped connects a client whose files stripe across servers:
+// reads and writes fan out in parallel over each file's stripe set, so
+// one client's aggregate bandwidth scales with the server count.
+func DialStriped(job JobInfo, servers []string, opts ClientOptions) (*Client, error) {
+	return client.DialOpts(job, servers, opts)
+}
+
 // NewCluster builds a simulated burst-buffer cluster.
 func NewCluster(cfg ClusterConfig) *Cluster { return bb.NewCluster(cfg) }
 
@@ -77,5 +92,3 @@ const (
 	DeviceBW = bb.DefaultDeviceBW
 	Lambda   = bb.DefaultLambda
 )
-
-var _ = time.Second
