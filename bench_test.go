@@ -11,7 +11,13 @@
 package themisio
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	mathrand "math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,6 +25,7 @@ import (
 	"themisio/internal/experiments"
 	"themisio/internal/policy"
 	"themisio/internal/sched"
+	"themisio/internal/transport"
 )
 
 // reportMetrics publishes selected experiment metrics on the benchmark.
@@ -182,6 +189,203 @@ func BenchmarkTokenDraw(b *testing.B) {
 			}
 		})
 	}
+}
+
+// mutexThemis reproduces the pre-refactor scheduler hot path exactly:
+// one mutex serializing every Push and Pop, eligibility peeked segment
+// by segment inside the lock, a locked rand.Rand token stream, and a
+// served-count map write per pop. It exists only as the benchmark
+// baseline the epoch-compiled implementation is measured against.
+type mutexThemis struct {
+	mu       sync.Mutex
+	rng      *mathrand.Rand
+	queues   *sched.JobQueues
+	compiled *policy.Compiled
+	served   map[string]int64
+}
+
+func newMutexThemis(pol policy.Policy, seed int64, jobs []policy.JobInfo) *mutexThemis {
+	c, err := policy.Compile(jobs, pol)
+	if err != nil {
+		panic(err)
+	}
+	return &mutexThemis{
+		rng:      mathrand.New(mathrand.NewSource(seed)),
+		queues:   sched.NewJobQueues(),
+		compiled: c,
+		served:   map[string]int64{},
+	}
+}
+
+func (t *mutexThemis) Push(r *sched.Request) {
+	t.mu.Lock()
+	t.queues.Push(r)
+	t.mu.Unlock()
+}
+
+func (t *mutexThemis) Pop() *sched.Request {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queues.Pending() == 0 {
+		return nil
+	}
+	eligible := func(j string) bool { return t.queues.PeekFrom(j, nil) != nil }
+	if job, ok := t.compiled.Assignment.PickEligible(eligible, t.rng.Float64); ok {
+		if r := t.queues.PopFrom(job, nil); r != nil {
+			t.served[job]++
+			return r
+		}
+	}
+	for _, id := range t.queues.Order() {
+		if r := t.queues.PopFrom(id, nil); r != nil {
+			t.served[id]++
+			return r
+		}
+	}
+	return nil
+}
+
+func (t *mutexThemis) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queues.Pending()
+}
+
+// BenchmarkThemisContended measures the scheduler under the live
+// server's concurrency shape — 8 connection goroutines pushing, 4
+// workers popping — for the epoch-compiled lock-striped implementation
+// against the pre-refactor single-mutex implementation (mutexThemis).
+// The acceptance bar for the refactor is striped ≥ 2× globalmutex
+// ops/sec.
+func BenchmarkThemisContended(b *testing.B) {
+	const pushers, poppers = 8, 4
+	jobs := makeJobs(16)
+	reqs := make([]*sched.Request, len(jobs))
+	for i := range reqs {
+		reqs[i] = &sched.Request{Job: jobs[i], Op: sched.OpWrite, Bytes: 1 << 20}
+	}
+	run := func(b *testing.B, push func(*sched.Request), pop func() *sched.Request, pending func() int) {
+		// Work is pre-split per goroutine: the harness itself shares no
+		// counters on the hot path, so only scheduler costs are measured.
+		per := b.N/pushers + 1
+		var pushWG, popWG sync.WaitGroup
+		var pushersDone atomic.Bool
+		counts := make([]int64, poppers*8) // spaced to avoid false sharing
+		b.ResetTimer()
+		for p := 0; p < pushers; p++ {
+			pushWG.Add(1)
+			go func(p int) {
+				defer pushWG.Done()
+				for i := 0; i < per; i++ {
+					// Closed-loop backpressure, as real connections have:
+					// without it the benchmark mostly measures GC over an
+					// unbounded backlog instead of scheduler contention.
+					for pending() > 4096 {
+						runtime.Gosched()
+					}
+					push(reqs[(p+i)%len(reqs)])
+				}
+			}(p)
+		}
+		for w := 0; w < poppers; w++ {
+			popWG.Add(1)
+			go func(w int) {
+				defer popWG.Done()
+				for {
+					if pop() != nil {
+						counts[w*8]++
+						continue
+					}
+					if pushersDone.Load() && pending() == 0 {
+						return
+					}
+					runtime.Gosched()
+				}
+			}(w)
+		}
+		pushWG.Wait()
+		pushersDone.Store(true)
+		popWG.Wait()
+		var popped int64
+		for w := 0; w < poppers; w++ {
+			popped += counts[w*8]
+		}
+		if want := int64(per * pushers); popped != want {
+			b.Fatalf("conservation: popped %d of %d", popped, want)
+		}
+	}
+	b.Run("striped", func(b *testing.B) {
+		th := core.New(policy.SizeFair, 1)
+		th.SetJobs(jobs)
+		run(b, th.Push, func() *sched.Request { return th.Pop(0, nil) }, th.Pending)
+	})
+	b.Run("globalmutex", func(b *testing.B) {
+		th := newMutexThemis(policy.SizeFair, 1, jobs)
+		run(b, th.Push, th.Pop, th.Pending)
+	})
+}
+
+// BenchmarkCodec compares the length-prefixed binary codec against gob
+// for the hot data messages (a 64 KiB write request and its read-back
+// response). Run with -benchmem: the binary codec's pooled buffers must
+// show fewer allocs/op than gob.
+func BenchmarkCodec(b *testing.B) {
+	req := &transport.Request{
+		Type: transport.MsgWrite,
+		Seq:  12345,
+		Job:  policy.JobInfo{JobID: "job42", UserID: "user7", GroupID: "grp1", Nodes: 64},
+		Path: "/data/checkpoint-000042.bin",
+		Data: bytes.Repeat([]byte{0xa5}, 64<<10),
+	}
+	resp := &transport.Response{Seq: 12345, N: 64 << 10, Data: req.Data}
+	b.Run("binary/write-req", func(b *testing.B) {
+		b.ReportAllocs()
+		var scratch []byte
+		for i := 0; i < b.N; i++ {
+			scratch = transport.AppendRequestFrame(scratch[:0], req)
+			var got transport.Request
+			if err := transport.DecodeRequestFrame(scratch, &got); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/write-req", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+				b.Fatal(err)
+			}
+			var got transport.Request
+			if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary/read-resp", func(b *testing.B) {
+		b.ReportAllocs()
+		var scratch []byte
+		for i := 0; i < b.N; i++ {
+			scratch = transport.AppendResponseFrame(scratch[:0], resp)
+			var got transport.Response
+			if err := transport.DecodeResponseFrame(scratch, &got); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/read-resp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+			var got transport.Response
+			if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSchedulers compares push+pop cost across all four schedulers

@@ -326,13 +326,19 @@ func (c *Cluster) Run(until time.Duration) {
 // total, DirBW·dt per direction, and OpsPerSec·dt requests — the §5.2
 // hardware envelope.
 type server struct {
-	c      *Cluster
-	idx    int
-	id     string
-	sch    sched.Scheduler
-	table  *jobtable.Table
-	dirty  bool
-	failed bool
+	c     *Cluster
+	idx   int
+	id    string
+	sch   sched.Scheduler
+	table *jobtable.Table
+	// lastGen is the job-table generation the scheduler was last
+	// compiled against — the sim mirror of the live controller's
+	// epoch gating: serve() recompiles only when the generation moves
+	// (or dirty forces it, e.g. after a failover scrub), never per
+	// submitted request.
+	lastGen uint64
+	dirty   bool
+	failed  bool
 
 	// parked holds requests whose service straddles tick boundaries
 	// (budget for their direction ran out); they are served ahead of the
@@ -350,9 +356,9 @@ func (s *server) submit(now time.Duration, r *sched.Request) {
 	if r.Arrive == 0 {
 		r.Arrive = now
 	}
-	if s.table.Observe(r.Job, now) {
-		s.dirty = true
-	}
+	// Observe bumps the table generation when the active set changes;
+	// serve() picks that up. The submit path itself compiles nothing.
+	s.table.Observe(r.Job, now)
 	s.sch.Push(r)
 }
 
@@ -366,7 +372,8 @@ func (s *server) serve(now time.Duration, dt time.Duration) {
 	if s.failed {
 		return
 	}
-	if s.dirty {
+	if g := s.table.Generation(); s.dirty || g != s.lastGen {
+		s.lastGen = g
 		s.sch.SetJobs(s.table.Active(now))
 		s.dirty = false
 	}

@@ -39,6 +39,10 @@ type Options struct {
 	// StripeUnit is the bytes written to one server before moving to
 	// the next (non-positive selects DefaultStripeUnit).
 	StripeUnit int64
+	// LegacyGob forces the gob wire codec instead of the default
+	// length-prefixed binary codec — the escape hatch for servers too
+	// old to auto-detect the binary preamble.
+	LegacyGob bool
 }
 
 // DefaultStripeUnit is the stripe chunk size, matching the server-side
@@ -87,14 +91,18 @@ type serverConn struct {
 	err  error
 }
 
-func dialServer(addr string) (*serverConn, error) {
+func dialServer(addr string, legacyGob bool) (*serverConn, error) {
 	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
+	conn := transport.NewBinaryConn(raw)
+	if legacyGob {
+		conn = transport.NewConn(raw)
+	}
 	sc := &serverConn{
 		addr: addr,
-		conn: transport.NewConn(raw),
+		conn: conn,
 		wait: map[uint64]chan *transport.Response{},
 	}
 	go sc.reader()
@@ -178,7 +186,7 @@ func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, erro
 		hbDone:   make(chan struct{}),
 	}
 	for _, addr := range servers {
-		sc, err := dialServer(addr)
+		sc, err := dialServer(addr, opts.LegacyGob)
 		if err != nil {
 			c.closeConns()
 			return nil, err

@@ -14,12 +14,23 @@
 //     independent draw, a bursty job can never pack the queue ahead of a
 //     modest one — expected service rates match the policy shares at the
 //     granularity of single requests ("time slicing").
+//
+// The implementation is epoch-compiled: the compiled policy is published
+// as an immutable epoch through an atomic pointer (recompiled only by the
+// controller, never on the data path), per-job queues are lock-striped by
+// job id, and token draws come from a lock-free counter-indexed
+// generator. Push and Pop therefore perform no policy work and take no
+// global lock — only the one shard lock covering the touched job. The
+// statistical guarantees are unaffected: independent uniform draws remain
+// independent whether taken one at a time under a global lock or
+// concurrently against a shared epoch.
 package core
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"themisio/internal/policy"
@@ -27,98 +38,274 @@ import (
 	"themisio/internal/token"
 )
 
+// numShards is the queue lock-stripe count. Shard index is a hash of the
+// job id, so concurrent pushes for different jobs contend only when they
+// collide mod 16 — plenty for the worker-pool sizes the server runs.
+const numShards = 16
+
+// shard is one lock stripe: the queues of every job hashing to it.
+// Padding keeps neighboring shard locks on separate cache lines.
+type shard struct {
+	mu sync.Mutex
+	q  *sched.JobQueues
+	_  [40]byte
+}
+
+// jobState is a job's lock-free scheduling summary: one backlog counter
+// per service class, maintained under the job's shard lock (so they
+// exactly track queue content at lock boundaries) and read without any
+// lock by the eligibility scan, plus the served tally. Counters can be
+// momentarily stale to a reader — the conditioned draw re-checks under
+// the shard lock when it pops, so staleness costs at most a redraw,
+// never a wrong pop.
+type jobState struct {
+	cls    [sched.NumClasses]atomic.Int64
+	served atomic.Int64
+}
+
+// backlogged reports whether any class has queued work (the allow==nil
+// eligibility check of the live server's hot path).
+func (s *jobState) backlogged() bool {
+	return s.cls[0].Load() > 0 || s.cls[1].Load() > 0 || s.cls[2].Load() > 0
+}
+
+// epoch is one immutable compiled-policy publication. Workers load the
+// current epoch with a single atomic pointer read; the controller
+// replaces it wholesale on job-set changes and λ ticks.
+type epoch struct {
+	seq      uint64
+	compiled *policy.Compiled
+	// states[i] and shards[i] are the jobState and lock stripe of
+	// Assignment.Segments[i]'s job, resolved once at publication so the
+	// per-pop path does no hashing and no map lookups outside the
+	// queue itself.
+	states []*jobState
+	shards []*shard
+}
+
 // Themis is the statistical-token scheduler. It implements
 // sched.Scheduler. It is safe for concurrent use: the live server calls
-// Push from connection goroutines and Pop from workers; the simulator is
-// single-threaded and pays only uncontended-lock overhead.
+// Push from connection goroutines and Pop from workers with no global
+// lock; the simulator is single-threaded and pays only uncontended
+// shard-lock overhead.
 type Themis struct {
-	mu  sync.Mutex
-	pol policy.Policy
-	rng *rand.Rand
+	// confMu serializes the cold path: SetJobs/SetPolicy recompilation
+	// and epoch publication. The data path never takes it.
+	confMu sync.Mutex
+	pol    policy.Policy
+	jobs   []policy.JobInfo
 
-	queues *sched.JobQueues
+	epoch    atomic.Pointer[epoch]
+	strict   atomic.Bool
+	draws    drawSeq
+	pending  atomic.Int64
+	wasted   atomic.Int64
+	compiles atomic.Int64
 
-	jobs     []policy.JobInfo
-	compiled *policy.Compiled
+	// states maps job id → *jobState; entries are created on first push
+	// (or epoch publication) and never removed — job ids recur, and a
+	// zeroed counter block is cheap.
+	states sync.Map
+	// order publishes the job ids in first-seen order (copy-on-write,
+	// appended only when a job id is first registered): the fallback pop
+	// serves the oldest-created queue first, exactly as the pre-striping
+	// single JobQueues did, rather than an arbitrary shard-hash order.
+	orderMu sync.Mutex
+	order   atomic.Pointer[[]string]
 
-	// strict disables opportunity fairness: tokens are drawn over the
-	// full assignment and a draw landing on a job without eligible work
-	// is forfeited (a wasted I/O cycle). This is the mandatory-assignment
-	// behaviour of prior bandwidth-reservation systems, kept as an
-	// ablation of the paper's key design choice.
-	strict bool
-
-	// stats
-	served map[string]int64
-	wasted int64
+	shards [numShards]shard
 }
 
 // New returns a Themis scheduler enforcing the given policy. seed fixes
 // the token-draw stream; experiments use distinct fixed seeds so results
 // are reproducible.
 func New(pol policy.Policy, seed int64) *Themis {
-	return &Themis{
-		pol:    pol,
-		rng:    rand.New(rand.NewSource(seed)),
-		queues: sched.NewJobQueues(),
-		served: make(map[string]int64),
+	t := &Themis{pol: pol}
+	t.draws.seed = uint64(seed)
+	t.order.Store(new([]string))
+	for i := range t.shards {
+		t.shards[i].q = sched.NewJobQueues()
 	}
+	return t
+}
+
+// drawSeq generates the statistical token stream: draw i is the i-th
+// output of splitmix64 from the seed. Indexing by an atomic counter
+// makes concurrent draws lock-free while keeping the single-threaded
+// stream (the simulator, the tests) deterministic for a fixed seed.
+type drawSeq struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// mix64 is the splitmix64 finalizer (same avalanche as chash uses for
+// ring placement).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// next returns a uniform draw in [0, 1).
+func (d *drawSeq) next() float64 {
+	i := d.ctr.Add(1)
+	return float64(mix64(d.seed+i*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+}
+
+// shardIdx maps a job id to its lock stripe (FNV-1a).
+func shardIdx(job string) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(job); i++ {
+		h ^= uint64(job[i])
+		h *= 1099511628211
+	}
+	return int(h & (numShards - 1))
 }
 
 // Name implements sched.Scheduler.
-func (t *Themis) Name() string { return "themis-" + t.pol.String() }
+func (t *Themis) Name() string {
+	t.confMu.Lock()
+	defer t.confMu.Unlock()
+	return "themis-" + t.pol.String()
+}
 
 // Policy returns the active sharing policy.
-func (t *Themis) Policy() policy.Policy { return t.pol }
+func (t *Themis) Policy() policy.Policy {
+	t.confMu.Lock()
+	defer t.confMu.Unlock()
+	return t.pol
+}
 
-// SetPolicy switches the sharing policy at runtime and recompiles the
-// assignment ("the statistical assignment can be easily adjusted by
+// SetPolicy switches the sharing policy at runtime and republishes the
+// compiled epoch ("the statistical assignment can be easily adjusted by
 // recalculating the matrix multiplication", §3).
 func (t *Themis) SetPolicy(pol policy.Policy) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.confMu.Lock()
+	defer t.confMu.Unlock()
 	t.pol = pol
-	t.recompileLocked()
+	t.republishLocked()
 }
 
-// SetJobs installs the active job set from the controller (local job
-// table heartbeats and λ-sync merges both land here) and recompiles the
-// token assignment.
+// SetJobs installs the active job set from the controller and publishes
+// a new compiled epoch. This is the only path that compiles policy: the
+// controller calls it when the job table's generation moves (job
+// arrival/departure, presence change) or a λ sync lands — never per
+// request.
 func (t *Themis) SetJobs(jobs []policy.JobInfo) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.confMu.Lock()
+	defer t.confMu.Unlock()
 	t.jobs = append(t.jobs[:0], jobs...)
-	t.recompileLocked()
+	t.republishLocked()
 }
 
-func (t *Themis) recompileLocked() {
+func (t *Themis) republishLocked() {
 	c, err := policy.Compile(t.jobs, t.pol)
 	if err != nil {
 		// Compilation fails only on structurally impossible inputs (all
-		// weights zero); keep the previous assignment rather than stall.
+		// weights zero); keep the previous epoch rather than stall.
 		return
 	}
-	t.compiled = c
+	segs := c.Assignment.Segments
+	states := make([]*jobState, len(segs))
+	shards := make([]*shard, len(segs))
+	for i := range segs {
+		states[i] = t.state(segs[i].Job)
+		shards[i] = &t.shards[shardIdx(segs[i].Job)]
+	}
+	seq := uint64(1)
+	if e := t.epoch.Load(); e != nil {
+		seq = e.seq + 1
+	}
+	t.epoch.Store(&epoch{seq: seq, compiled: c, states: states, shards: shards})
+	t.compiles.Add(1)
+}
+
+// state returns the job's counter block, creating it on first sight and
+// recording the job's position in the first-seen order.
+func (t *Themis) state(job string) *jobState {
+	if v, ok := t.states.Load(job); ok {
+		return v.(*jobState)
+	}
+	v, loaded := t.states.LoadOrStore(job, &jobState{})
+	if !loaded {
+		t.orderMu.Lock()
+		old := *t.order.Load()
+		next := make([]string, len(old), len(old)+1)
+		copy(next, old)
+		next = append(next, job)
+		t.order.Store(&next)
+		t.orderMu.Unlock()
+	}
+	return v.(*jobState)
+}
+
+// Compiles returns the number of policy compilations performed since
+// creation. The request path never compiles, so this grows O(job-set
+// changes + λ ticks), not O(requests) — asserted by the server's
+// regression test.
+func (t *Themis) Compiles() int64 { return t.compiles.Load() }
+
+// EpochSeq returns the current epoch's sequence number (0 before the
+// first SetJobs).
+func (t *Themis) EpochSeq() uint64 {
+	if e := t.epoch.Load(); e != nil {
+		return e.seq
+	}
+	return 0
 }
 
 // Assignment returns the current token assignment (nil before the first
 // SetJobs). Exposed for tests and for themisctl introspection.
 func (t *Themis) Assignment() *token.Assignment {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.compiled == nil {
+	e := t.epoch.Load()
+	if e == nil {
 		return nil
 	}
-	return t.compiled.Assignment
+	return e.compiled.Assignment
 }
 
 // Push implements sched.Scheduler: enqueue on the job's queue, creating
-// it on first sight. The caller (server communicator) is responsible for
-// also feeding the job table so SetJobs eventually reflects the job.
+// it on first sight. Only the job's shard lock is taken. The caller
+// (server communicator) is responsible for also feeding the job table so
+// the controller's SetJobs eventually reflects the job.
 func (t *Themis) Push(r *sched.Request) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.queues.Push(r)
+	st := t.state(r.Job.JobID)
+	sh := &t.shards[shardIdx(r.Job.JobID)]
+	sh.mu.Lock()
+	sh.q.Push(r)
+	st.cls[sched.ClassOf(r.Op)].Add(1)
+	sh.mu.Unlock()
+	t.pending.Add(1)
+}
+
+// peek reports whether the job has an allowed head request right now.
+func (t *Themis) peek(job string, allow sched.AllowFunc) bool {
+	sh := &t.shards[shardIdx(job)]
+	sh.mu.Lock()
+	ok := sh.q.PeekFrom(job, allow) != nil
+	sh.mu.Unlock()
+	return ok
+}
+
+// popFromResolved removes the job's oldest allowed request — nil if none
+// (or if a concurrent worker won the race since the caller's peek) —
+// with the job's state and stripe already in hand (the epoch caches both
+// per segment, so draws skip the hashing).
+func (t *Themis) popFromResolved(job string, st *jobState, sh *shard, allow sched.AllowFunc) *sched.Request {
+	sh.mu.Lock()
+	r := sh.q.PopFrom(job, allow)
+	if r != nil {
+		st.cls[sched.ClassOf(r.Op)].Add(-1)
+	}
+	sh.mu.Unlock()
+	if r != nil {
+		st.served.Add(1)
+		t.pending.Add(-1)
+	}
+	return r
 }
 
 // Pop implements sched.Scheduler: draw a statistical token conditioned on
@@ -127,103 +314,217 @@ func (t *Themis) Push(r *sched.Request) {
 // job's queue. Jobs that have traffic but are not yet in the assignment
 // (e.g. first requests raced the controller) are served from leftover
 // draws so they are never starved.
+//
+// Pop loads the current epoch once and touches only the shard locks of
+// the jobs it inspects; under contention a draw can lose the chosen head
+// to another worker, in which case the job is dropped from the eligible
+// set and the draw retried, preserving the conditioned distribution.
 func (t *Themis) Pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.queues.Pending() == 0 {
+	if t.pending.Load() == 0 {
 		return nil
 	}
-	eligible := func(j string) bool {
-		return t.queues.PeekFrom(j, allow) != nil
-	}
-	if t.compiled != nil && len(t.compiled.Assignment.Segments) > 0 {
-		if t.strict {
+	e := t.epoch.Load()
+	if e != nil && len(e.compiled.Assignment.Segments) > 0 {
+		segs := e.compiled.Assignment.Segments
+		if t.strict.Load() {
 			// Ablation mode: unconditioned draw; a miss wastes the cycle.
-			job, ok := t.compiled.Assignment.Lookup(t.rng.Float64())
-			if ok && eligible(job) {
-				return t.popFromLocked(job, allow)
+			if i := segIdx(segs, t.draws.next()); i >= 0 {
+				if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], allow); r != nil {
+					return r
+				}
 			}
-			t.wasted++
+			t.wasted.Add(1)
 			return nil
 		}
-		job, ok := t.compiled.Assignment.PickEligible(eligible, t.rng.Float64)
-		if ok {
-			if r := t.popFromLocked(job, allow); r != nil {
-				return r
+		// Optimistic unconditioned draw first: serving the drawn job when
+		// it has work, and falling back to a fully conditioned redraw when
+		// it does not, yields exactly the conditioned distribution —
+		// P(serve j) = w_j + (1-E)·w_j/E = w_j/E over eligible mass E —
+		// while making the saturated hot path O(log jobs): one draw, one
+		// segment lookup, one counter load, one shard lock.
+		if allow == nil {
+			if i := segIdx(segs, t.draws.next()); i >= 0 && e.states[i].backlogged() {
+				if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], nil); r != nil {
+					return r
+				}
 			}
+		}
+		if r := t.popCompiled(e, allow); r != nil {
+			return r
 		}
 	}
 	// No assignment yet, or all backlogged jobs are outside it: serve the
 	// oldest-created eligible queue.
-	for _, id := range t.queues.Order() {
-		if eligible(id) {
-			return t.popFromLocked(id, allow)
+	return t.popAny(allow)
+}
+
+// popCompiled draws over the epoch's segments conditioned on eligibility.
+// With no allow filter (the live server's workers) eligibility is read
+// from the epoch's lock-free backlog counters; a filter falls back to
+// precise per-shard peeks, which the single-threaded simulator pays only
+// as uncontended locks.
+func (t *Themis) popCompiled(e *epoch, allow sched.AllowFunc) *sched.Request {
+	segs := e.compiled.Assignment.Segments
+	var buf [64]bool
+	var elig []bool
+	if len(segs) <= len(buf) {
+		elig = buf[:len(segs)]
+	} else {
+		elig = make([]bool, len(segs))
+	}
+	total := 0.0
+	n := 0
+	for i := range segs {
+		ok := false
+		if allow == nil {
+			ok = e.states[i].backlogged()
+		} else {
+			ok = t.peek(segs[i].Job, allow)
+		}
+		if ok {
+			elig[i] = true
+			total += segs[i].Width()
+			n++
+		}
+	}
+	for ; n > 0; n-- {
+		i := pickIdx(segs, elig, total, t.draws.next())
+		if i < 0 {
+			return nil
+		}
+		if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], allow); r != nil {
+			return r
+		}
+		// A concurrent worker drained the job between peek and pop:
+		// recondition without it and redraw.
+		elig[i] = false
+		total -= segs[i].Width()
+	}
+	return nil
+}
+
+// segIdx returns the index of the segment containing draw x ∈ [0,1)
+// over the full (unconditioned) assignment, -1 on an empty assignment.
+func segIdx(segs []token.Segment, x float64) int {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Hi > x })
+	if i >= len(segs) {
+		i = len(segs) - 1
+	}
+	return i
+}
+
+// pickIdx returns the index of the segment containing draw x conditioned
+// on the eligible set, or the first eligible segment when the eligible
+// mass is zero (zero-share jobs — e.g. just-arrived jobs the controller
+// has not weighted yet — are served from leftover cycles, mirroring
+// token.Assignment.PickEligible). Returns -1 if nothing is eligible.
+func pickIdx(segs []token.Segment, elig []bool, total, x float64) int {
+	if total > 0 {
+		x *= total
+		acc := 0.0
+		for i := range segs {
+			if !elig[i] {
+				continue
+			}
+			acc += segs[i].Width()
+			if x < acc {
+				return i
+			}
+		}
+	}
+	// Zero eligible mass, or floating-point residue: first eligible.
+	for i := range segs {
+		if elig[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// popAny serves the first-seen eligible job's oldest request — the
+// fallback when no compiled segment matches a backlogged job, preserving
+// the pre-striping behaviour of serving the oldest-created queue first
+// (which is also what the degenerate FIFO policy relies on).
+func (t *Themis) popAny(allow sched.AllowFunc) *sched.Request {
+	for _, id := range *t.order.Load() {
+		st := t.state(id)
+		if allow == nil && !st.backlogged() {
+			continue
+		}
+		if r := t.popFromResolved(id, st, &t.shards[shardIdx(id)], allow); r != nil {
+			return r
 		}
 	}
 	return nil
 }
 
-func (t *Themis) popFromLocked(job string, allow sched.AllowFunc) *sched.Request {
-	r := t.queues.PopFrom(job, allow)
-	if r != nil {
-		t.served[job]++
+// PopBatch pops up to len(out) requests in one call — the worker's
+// per-wake batch: K independent draws against the current epoch,
+// amortizing the wake/park transition. It fills out from the front and
+// returns the count; fewer than len(out) (possibly zero) means the
+// eligible backlog ran dry.
+func (t *Themis) PopBatch(now time.Duration, allow sched.AllowFunc, out []*sched.Request) int {
+	n := 0
+	for n < len(out) {
+		r := t.Pop(now, allow)
+		if r == nil {
+			break
+		}
+		out[n] = r
+		n++
 	}
-	return r
+	return n
 }
 
 // Pending implements sched.Scheduler.
 func (t *Themis) Pending() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.queues.Pending()
+	return int(t.pending.Load())
 }
 
 // PendingOf returns the backlog of one job (for tests/inspection).
 func (t *Themis) PendingOf(job string) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.queues.LenOf(job)
+	sh := &t.shards[shardIdx(job)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.q.LenOf(job)
 }
 
-// SetStrict toggles the strict-shares ablation mode (see the strict
-// field). The production configuration is opportunistic (false).
-func (t *Themis) SetStrict(on bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.strict = on
-}
+// SetStrict toggles the strict-shares ablation mode: tokens are drawn
+// over the full assignment and a draw landing on a job without eligible
+// work is forfeited (a wasted I/O cycle). This is the
+// mandatory-assignment behaviour of prior bandwidth-reservation systems,
+// kept as an ablation of the paper's key design choice. The production
+// configuration is opportunistic (false).
+func (t *Themis) SetStrict(on bool) { t.strict.Store(on) }
 
 // Wasted returns the number of forfeited draws in strict mode.
-func (t *Themis) Wasted() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.wasted
-}
+func (t *Themis) Wasted() int64 { return t.wasted.Load() }
 
 // Served returns the number of requests served per job since creation.
 func (t *Themis) Served() map[string]int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[string]int64, len(t.served))
-	for k, v := range t.served {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	t.states.Range(func(k, v any) bool {
+		if n := v.(*jobState).served.Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
 	return out
 }
 
 // Share returns the current token share of a job (0 if absent).
 func (t *Themis) Share(job string) float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.compiled == nil {
+	e := t.epoch.Load()
+	if e == nil {
 		return 0
 	}
-	return t.compiled.Assignment.Share(job)
+	return e.compiled.Assignment.Share(job)
 }
 
 // String summarizes the scheduler state for debugging.
 func (t *Themis) String() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return fmt.Sprintf("themis{policy=%s jobs=%d pending=%d}", t.pol, len(t.jobs), t.queues.Pending())
+	t.confMu.Lock()
+	pol, jobs := t.pol, len(t.jobs)
+	t.confMu.Unlock()
+	return fmt.Sprintf("themis{policy=%s jobs=%d pending=%d}", pol, jobs, t.Pending())
 }

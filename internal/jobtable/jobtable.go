@@ -16,6 +16,7 @@ package jobtable
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"themisio/internal/policy"
@@ -62,6 +63,17 @@ func (e *Entry) clone() Entry {
 	return cp
 }
 
+// ActiveSet is an immutable snapshot of the active job set. It is
+// published atomically by the table so that readers on the request hot
+// path (the server controller, scheduler epochs) never take the table
+// lock and never allocate; Gen increases by one every time the
+// membership — or any policy-relevant job attribute — of the active set
+// actually changes.
+type ActiveSet struct {
+	Gen  uint64
+	Jobs []policy.JobInfo
+}
+
 // Table is a thread-safe job status table. Time is expressed as
 // time.Duration offsets from an arbitrary epoch so the table works
 // identically under the discrete-event simulator's virtual clock and the
@@ -71,6 +83,13 @@ type Table struct {
 	owner   string
 	entries map[string]*Entry
 	timeout time.Duration
+
+	// gen and active publish the epoch snapshot: writers that change the
+	// active membership republish under mu; readers load the pointer with
+	// no lock. gen moves only when the published snapshot really differs,
+	// so a controller can gate recompilation on Generation() alone.
+	gen    atomic.Uint64
+	active atomic.Pointer[ActiveSet]
 }
 
 // DefaultTimeout is the heartbeat expiry used when none is configured;
@@ -84,7 +103,9 @@ func New(owner string, timeout time.Duration) *Table {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Table{owner: owner, entries: make(map[string]*Entry), timeout: timeout}
+	t := &Table{owner: owner, entries: make(map[string]*Entry), timeout: timeout}
+	t.active.Store(&ActiveSet{})
+	return t
 }
 
 // Owner returns the server id that owns this table.
@@ -100,7 +121,11 @@ func (t *Table) Timeout() time.Duration { return t.timeout }
 func (t *Table) Heartbeat(info policy.JobInfo, now time.Duration) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.touch(info, now, false)
+	changed := t.touch(info, now, false)
+	if changed {
+		t.republishLocked(now)
+	}
+	return changed
 }
 
 // Observe records that an I/O request from the job arrived at time now on
@@ -112,6 +137,9 @@ func (t *Table) Observe(info policy.JobInfo, now time.Duration) bool {
 	defer t.mu.Unlock()
 	changed := t.touch(info, now, true)
 	t.entries[info.JobID].Demand++
+	if changed {
+		t.republishLocked(now)
+	}
 	return changed
 }
 
@@ -127,9 +155,12 @@ func (t *Table) touch(info policy.JobInfo, now time.Duration, io bool) bool {
 		return true
 	}
 	changed := now-e.Last > t.timeout // stale → active counts as a change
-	pres := e.Info.Presence
-	e.Info = info
-	e.Info.Presence = pres // presence is derived, not client-supplied
+	next := info
+	next.Presence = e.Info.Presence // presence is derived, not client-supplied
+	if e.Info != next {
+		changed = true // policy-relevant metadata moved (nodes, user, …)
+	}
+	e.Info = next
 	if now > e.Last {
 		e.Last = now
 	}
@@ -146,6 +177,11 @@ func (t *Table) touch(info policy.JobInfo, now time.Duration, io bool) bool {
 func (t *Table) Active(now time.Duration) []policy.JobInfo {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.activeLocked(now)
+}
+
+// activeLocked computes the active job list under t.mu (either mode).
+func (t *Table) activeLocked(now time.Duration) []policy.JobInfo {
 	var out []policy.JobInfo
 	for _, e := range t.entries {
 		if now-e.Last <= t.timeout {
@@ -159,6 +195,52 @@ func (t *Table) Active(now time.Duration) []policy.JobInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
 	return out
+}
+
+// republishLocked recomputes the active set as of now and publishes a new
+// snapshot — bumping the generation — only if it differs from the current
+// one. Callers hold t.mu for writing.
+func (t *Table) republishLocked(now time.Duration) {
+	jobs := t.activeLocked(now)
+	cur := t.active.Load()
+	if cur != nil && equalJobs(cur.Jobs, jobs) {
+		return
+	}
+	t.active.Store(&ActiveSet{Gen: t.gen.Add(1), Jobs: jobs})
+}
+
+func equalJobs(a, b []policy.JobInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Generation returns the published snapshot's generation without taking
+// the table lock. A controller that caches the last generation it
+// compiled against can skip recompilation entirely while it is unchanged.
+func (t *Table) Generation() uint64 { return t.gen.Load() }
+
+// ActiveSnapshot returns the current immutable active-set snapshot. The
+// returned value — including its Jobs slice — must not be mutated.
+func (t *Table) ActiveSnapshot() *ActiveSet { return t.active.Load() }
+
+// Refresh recomputes the active set as of now and republishes the
+// snapshot if membership decayed (heartbeats aged past the timeout) or a
+// clockless mutation (DropServer, Remove) changed it. It returns the
+// current generation. The controller calls this once per λ; activeness
+// is a function of time, so pure decay is otherwise invisible to the
+// write-triggered republishes.
+func (t *Table) Refresh(now time.Duration) uint64 {
+	t.mu.Lock()
+	t.republishLocked(now)
+	t.mu.Unlock()
+	return t.gen.Load()
 }
 
 // StatusOf returns the job's status as of now and whether it is known.
@@ -192,6 +274,7 @@ func (t *Table) Expire(now, keep time.Duration) int {
 			n++
 		}
 	}
+	t.republishLocked(now)
 	return n
 }
 
@@ -256,6 +339,9 @@ func (t *Table) Merge(snap []Entry, now time.Duration) bool {
 			e.Demand = in.Demand
 		}
 	}
+	if changed {
+		t.republishLocked(now)
+	}
 	return changed
 }
 
@@ -263,7 +349,9 @@ func (t *Table) Merge(snap []Entry, now time.Duration) bool {
 // the failover path: when the cluster fabric declares a member failed,
 // each job that was present on it sheds that presence, so the 1/k token
 // deweighting (Figure 5) shifts the job's share onto the survivors.
-// Returns true if any entry changed.
+// Returns true if any entry changed. DropServer has no clock, so the
+// published snapshot is not touched here; the next Refresh (the
+// controller's λ tick) folds the presence change into a new generation.
 func (t *Table) DropServer(server string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()

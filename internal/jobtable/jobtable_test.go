@@ -232,3 +232,103 @@ func TestDropServerShiftsPresence(t *testing.T) {
 		t.Fatal("surviving server's sighting must remain")
 	}
 }
+
+// The epoch snapshot: Observe/Heartbeat bump the generation only when
+// membership (or a policy-relevant attribute) of the active set actually
+// changes — never per request — and the published snapshot matches
+// Active().
+func TestGenerationMovesOnlyOnActiveSetChanges(t *testing.T) {
+	tb := New("s1", time.Second)
+	if tb.Generation() != 0 {
+		t.Fatalf("fresh table generation = %d, want 0", tb.Generation())
+	}
+	tb.Observe(info("a", 4), 0)
+	g1 := tb.Generation()
+	if g1 == 0 {
+		t.Fatal("new job must bump the generation")
+	}
+	// A hot request path: hundreds of sightings of the same job.
+	for i := 0; i < 500; i++ {
+		tb.Observe(info("a", 4), time.Duration(i)*time.Millisecond)
+		tb.Heartbeat(info("a", 4), time.Duration(i)*time.Millisecond)
+	}
+	if tb.Generation() != g1 {
+		t.Fatalf("steady traffic moved the generation %d → %d", g1, tb.Generation())
+	}
+	snap := tb.ActiveSnapshot()
+	if snap.Gen != g1 || len(snap.Jobs) != 1 || snap.Jobs[0].JobID != "a" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// A policy-relevant attribute change (job resized) is a new epoch.
+	tb.Observe(info("a", 8), 600*time.Millisecond)
+	g2 := tb.Generation()
+	if g2 == g1 {
+		t.Fatal("node-count change must bump the generation")
+	}
+	// Second job arrival bumps; its steady heartbeats do not.
+	tb.Heartbeat(info("b", 1), 700*time.Millisecond)
+	g3 := tb.Generation()
+	if g3 == g2 {
+		t.Fatal("new job via heartbeat must bump the generation")
+	}
+	tb.Heartbeat(info("b", 1), 800*time.Millisecond)
+	if tb.Generation() != g3 {
+		t.Fatal("repeat heartbeat must not bump the generation")
+	}
+}
+
+// Pure decay — a job going silent — is invisible to write-triggered
+// republishes; Refresh (the controller's λ tick) catches it.
+func TestRefreshCatchesDecayAndDropServer(t *testing.T) {
+	tb := New("s1", time.Second)
+	tb.Observe(info("a", 4), 0)
+	tb.Observe(info("b", 1), 0)
+	g := tb.Generation()
+	// Nothing written after t=0; job "b"... both decay at 2s.
+	if got := tb.Refresh(500 * time.Millisecond); got != g {
+		t.Fatalf("refresh inside the window moved generation %d → %d", g, got)
+	}
+	g2 := tb.Refresh(3 * time.Second)
+	if g2 == g {
+		t.Fatal("refresh past the timeout must republish the shrunken set")
+	}
+	if snap := tb.ActiveSnapshot(); len(snap.Jobs) != 0 {
+		t.Fatalf("decayed snapshot still lists %v", snap.Jobs)
+	}
+	// DropServer has no clock: the change lands at the next Refresh.
+	a := New("s1", time.Second)
+	b := New("s2", time.Second)
+	a.Observe(info("j", 4), 0)
+	b.Observe(info("j", 4), 0)
+	AllGather([]*Table{a, b}, 0)
+	gd := a.Generation()
+	a.DropServer("s2")
+	if a.Generation() != gd {
+		t.Fatal("DropServer itself must not republish (it has no clock)")
+	}
+	if a.Refresh(0) == gd {
+		t.Fatal("Refresh after DropServer must publish the presence change")
+	}
+	if snap := a.ActiveSnapshot(); snap.Jobs[0].Presence != 1 {
+		t.Fatalf("presence = %d after drop+refresh, want 1", snap.Jobs[0].Presence)
+	}
+}
+
+// The snapshot is immutable and consistent with Active() at publish time.
+func TestActiveSnapshotMatchesActive(t *testing.T) {
+	tb := New("s1", time.Second)
+	for i := 0; i < 10; i++ {
+		tb.Observe(info("job-"+itoa(i), i+1), time.Duration(i))
+	}
+	tb.Refresh(time.Duration(9))
+	snap := tb.ActiveSnapshot()
+	act := tb.Active(time.Duration(9))
+	if len(snap.Jobs) != len(act) {
+		t.Fatalf("snapshot %d jobs, Active %d", len(snap.Jobs), len(act))
+	}
+	for i := range act {
+		if snap.Jobs[i] != act[i] {
+			t.Fatalf("snapshot[%d] = %+v, Active[%d] = %+v", i, snap.Jobs[i], i, act[i])
+		}
+	}
+}

@@ -114,9 +114,15 @@ type Scheduler interface {
 	SetJobs(jobs []policy.JobInfo)
 }
 
-// classOf buckets ops into the three service classes a worker pool can
-// run independently: reads, writes, and metadata.
-func classOf(op Op) int {
+// NumClasses is the number of independent service classes (reads,
+// writes, metadata).
+const NumClasses = 3
+
+// ClassOf buckets ops into the three service classes a worker pool can
+// run independently: reads (0), writes (1), and metadata (2). Exported
+// so the Themis scheduler's lock-free eligibility counters bucket
+// exactly like the class-split queues underneath them.
+func ClassOf(op Op) int {
 	switch op {
 	case OpRead:
 		return 0
@@ -125,6 +131,8 @@ func classOf(op Op) int {
 	}
 	return 2
 }
+
+func classOf(op Op) int { return ClassOf(op) }
 
 // queued is a request plus its global arrival sequence (for oldest-first
 // selection across classes).

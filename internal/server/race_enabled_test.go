@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary was built with -race; the
+// timing-sensitive fairness test scales its device emulation so the
+// saturated-queue regime survives the detector's overhead.
+const raceEnabled = true

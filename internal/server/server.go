@@ -28,6 +28,17 @@ import (
 	"themisio/internal/transport"
 )
 
+// wakeBuffer is the capacity of the counting wake channel. It only needs
+// to exceed the deepest burst the workers could fail to observe; beyond
+// that, a dropped token is provably redundant (wakeBuffer wakeups are
+// already banked).
+const wakeBuffer = 4096
+
+// workerBatch is how many statistical tokens a worker draws per wake —
+// small enough that fairness granularity is unaffected (each draw is
+// still independent), large enough to amortize the park/unpark cost.
+const workerBatch = 8
+
 // Config parameterizes a live server.
 type Config struct {
 	// Policy is the sharing policy (default size-fair, the paper's
@@ -75,10 +86,15 @@ type Server struct {
 	router *fsys.Router
 	start  time.Time
 
-	ln       net.Listener
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	notEmpty chan struct{}
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	// wake is a counting wake channel: every Push deposits one token
+	// (dropped only when wakeBuffer tokens are already banked, i.e. the
+	// workers have far more wakeups than they can consume). Unlike the
+	// old cap-1 channel, concurrent pushes cannot collapse into a single
+	// token and leave a worker parked while queues are non-empty.
+	wake chan struct{}
 
 	// connMu guards conns, the accepted connections still being served;
 	// Close force-closes them so communicator goroutines blocked in
@@ -120,12 +136,12 @@ func New(ln net.Listener, cfg Config) *Server {
 			FailTimeout: cfg.FailTimeout,
 			Seed:        cfg.Seed,
 		}, table),
-		shard:    shard,
-		router:   fsys.NewRouter([]*fsys.Shard{shard}, 1, 0),
-		start:    time.Now(),
-		ln:       ln,
-		notEmpty: make(chan struct{}, 1),
-		conns:    map[*transport.Conn]struct{}{},
+		shard:  shard,
+		router: fsys.NewRouter([]*fsys.Shard{shard}, 1, 0),
+		start:  time.Now(),
+		ln:     ln,
+		wake:   make(chan struct{}, wakeBuffer),
+		conns:  map[*transport.Conn]struct{}{},
 	}
 	return s
 }
@@ -200,6 +216,13 @@ func (s *Server) Leave() {
 
 // handleConn is the communicator: it decodes requests, feeds the job
 // monitor, and enqueues scheduler work tagged with the reply path.
+//
+// The data path performs no policy work: heartbeats, legacy syncs and
+// gossip only update the job table / fabric state, and the controller —
+// the sole owner of recompilation — republishes the scheduler's epoch
+// when the table's generation moves (at most once per λ). Before this
+// refactor every message here called sched.SetJobs, recompiling the
+// token assignment per request.
 func (s *Server) handleConn(c *transport.Conn) {
 	defer s.wg.Done()
 	defer c.Close()
@@ -225,25 +248,21 @@ func (s *Server) handleConn(c *transport.Conn) {
 			return
 		case transport.MsgHeartbeat:
 			s.table.Heartbeat(req.Job, s.now())
-			s.sched.SetJobs(s.table.Active(s.now()))
 			continue
 		case transport.MsgSync:
 			// Legacy peer table merge (the receive side of the static
 			// all-gather); kept so mixed-version peers still sync.
 			s.table.Merge(req.Table, s.now())
-			s.sched.SetJobs(s.table.Active(s.now()))
 			continue
 		case transport.MsgGossip, transport.MsgJoin, transport.MsgLeave,
 			transport.MsgClusterStatus, transport.MsgDrain:
 			resp := s.node.Handle(req, s.now())
-			s.sched.SetJobs(s.table.Active(s.now()))
 			if err := c.SendResponse(resp); err != nil {
 				return
 			}
 			continue
 		}
 		s.table.Observe(req.Job, s.now())
-		s.sched.SetJobs(s.table.Active(s.now()))
 		r := &sched.Request{
 			Job:    req.Job,
 			Op:     opOf(req.Type),
@@ -253,7 +272,7 @@ func (s *Server) handleConn(c *transport.Conn) {
 		}
 		s.sched.Push(r)
 		select {
-		case s.notEmpty <- struct{}{}:
+		case s.wake <- struct{}{}:
 		default:
 		}
 	}
@@ -294,28 +313,45 @@ func reqBytes(r *transport.Request) int64 {
 	return 0
 }
 
-// worker pops one statistical token at a time and executes the chosen
-// request (§4.1: "each worker pops one token at a time and an I/O
-// request identified by the token, then processes the I/O request").
+// worker draws statistical tokens in small batches per wake (§4.1's
+// worker loop, amortized: each draw is still an independent token, so
+// fairness is identical to one-at-a-time popping) and executes the
+// chosen requests. The batch size adapts to the instantaneous backlog —
+// a worker never claims more than its share of the pending queue — so
+// that under shallow closed-loop traffic requests are not hoarded in
+// worker-local buffers (which would empty the queues and void the
+// conditioned draw), while deep backlogs amortize the park/unpark cost
+// over up to workerBatch draws. A worker that drains its batch keeps
+// popping without parking; one that finds nothing parks on the counting
+// wake channel with a timeout backstop.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	batch := make([]*sched.Request, workerBatch)
 	for !s.closed.Load() {
-		r := s.sched.Pop(s.now(), nil)
-		if r == nil {
+		k := s.sched.Pending() / (2 * s.cfg.Workers)
+		if k < 1 {
+			k = 1
+		} else if k > workerBatch {
+			k = workerBatch
+		}
+		n := s.sched.PopBatch(s.now(), nil, batch[:k])
+		if n == 0 {
 			select {
-			case <-s.notEmpty:
+			case <-s.wake:
 			case <-time.After(5 * time.Millisecond):
 			}
 			continue
 		}
-		p := r.Tag.(*pending)
-		if s.cfg.OpDelay > 0 {
-			time.Sleep(s.cfg.OpDelay)
-		}
-		resp := s.execute(p.req)
-		s.served.Add(1)
-		if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
-			log.Printf("themisd: reply: %v", err)
+		for _, r := range batch[:n] {
+			p := r.Tag.(*pending)
+			if s.cfg.OpDelay > 0 {
+				time.Sleep(s.cfg.OpDelay)
+			}
+			resp := s.execute(p.req)
+			s.served.Add(1)
+			if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
+				log.Printf("themisd: reply: %v", err)
+			}
 		}
 	}
 }
@@ -384,10 +420,14 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 	return resp
 }
 
-// controller refreshes the scheduler's job view on heartbeat expiry and
-// runs the λ-interval gossip round: join (retried until a seed answers,
-// so start order is free), then an epidemic push-pull exchange with k
-// random peers per round in place of the old all-to-all MsgSync fan-out.
+// controller owns policy recompilation — the paper's controller role:
+// every λ it expires stale heartbeats, runs the gossip round (join
+// retried until a seed answers, so start order is free; then an epidemic
+// push-pull exchange with k random peers in place of the old all-to-all
+// MsgSync fan-out), refreshes the job table's published snapshot, and —
+// only if the snapshot generation moved — compiles the policy into a new
+// scheduler epoch. Steady-state traffic therefore compiles nothing:
+// recompilation is O(job-set changes), not O(requests).
 func (s *Server) controller() {
 	defer s.wg.Done()
 	defer s.node.Close()
@@ -395,6 +435,7 @@ func (s *Server) controller() {
 	defer tick.Stop()
 	seeds := append(append([]string{}, s.cfg.Join...), s.cfg.Peers...)
 	joined := len(seeds) == 0
+	var lastGen uint64
 	for !s.closed.Load() {
 		<-tick.C
 		if s.closed.Load() {
@@ -409,6 +450,9 @@ func (s *Server) controller() {
 			}
 		}
 		s.node.Gossip(s.now())
-		s.sched.SetJobs(s.table.Active(s.now()))
+		if g := s.table.Refresh(s.now()); g != lastGen {
+			lastGen = g
+			s.sched.SetJobs(s.table.ActiveSnapshot().Jobs)
+		}
 	}
 }

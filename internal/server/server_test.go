@@ -164,8 +164,14 @@ func TestLiveMultiServerPlacementAndSync(t *testing.T) {
 func TestLiveSizeFairService(t *testing.T) {
 	// A 200µs device emulation keeps the queue saturated, which is the
 	// regime where the policy bites (unsaturated servers serve everyone
-	// at full speed by opportunity fairness).
-	addrs, stop := startServersDelay(t, 1, policy.SizeFair, 200*time.Microsecond)
+	// at full speed by opportunity fairness). Under the race detector the
+	// clients slow more than the server and can no longer saturate a
+	// 200µs device, so the emulated op cost scales up to match.
+	opDelay := 200 * time.Microsecond
+	if raceEnabled {
+		opDelay = 1500 * time.Microsecond
+	}
+	addrs, stop := startServersDelay(t, 1, policy.SizeFair, opDelay)
 	defer stop()
 
 	run := func(job policy.JobInfo, workers int, stopCh chan struct{}, count *int64, mu *sync.Mutex) {

@@ -1,0 +1,391 @@
+// Binary codec: hand-rolled length-prefixed framing for the hot data
+// messages. A frame is a little-endian uint32 payload length followed by
+// the payload; fields are written in a fixed order as uvarints, zigzag
+// varints, and length-prefixed byte strings. The rare control-plane
+// fields (the job-table snapshot carried by gossip/sync frames) ride as
+// an embedded gob blob behind a presence flag, so the binary framing
+// stays full-fidelity without reimplementing gob's reflective encoding
+// for structures that never appear on the data path.
+//
+// Encode and decode scratch space comes from a sync.Pool, so a
+// steady-state read/write workload allocates only the decoded payload
+// itself (one slice per data-carrying message) — the property the codec
+// benchmark pins against gob.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"themisio/internal/jobtable"
+)
+
+// maxFrame bounds a frame payload; anything larger is a corrupt or
+// hostile stream.
+const maxFrame = 1 << 30
+
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+// writeFrame encodes one message with the pooled scratch buffer and
+// writes it — magic first if this stream has not sent one — as a single
+// raw write. Callers hold c.wmu.
+func (c *Conn) writeFrame(encode func([]byte) []byte) error {
+	buf := framePool.Get().(*frameBuf)
+	b := buf.b[:0]
+	withMagic := !c.magicSent
+	if withMagic {
+		b = append(b, binMagic[:]...)
+	}
+	start := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = encode(b)
+	if len(b)-start-4 > maxFrame {
+		// Nothing was written: the stream is intact and the magic (if
+		// still owed) must ride the next frame, so don't latch magicSent.
+		buf.b = b
+		framePool.Put(buf)
+		return fmt.Errorf("transport: frame exceeds %d bytes", maxFrame)
+	}
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+	_, err := c.raw.Write(b)
+	if err == nil && withMagic {
+		c.magicSent = true
+	}
+	buf.b = b
+	framePool.Put(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into pooled scratch and
+// decodes it. The decode callback must copy out anything it keeps.
+func (c *Conn) readFrame(decode func([]byte) error) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes", n)
+	}
+	buf := framePool.Get().(*frameBuf)
+	if cap(buf.b) < int(n) {
+		buf.b = make([]byte, n)
+	}
+	b := buf.b[:n]
+	if _, err := io.ReadFull(c.br, b); err != nil {
+		framePool.Put(buf)
+		return err
+	}
+	err := decode(b)
+	buf.b = b
+	framePool.Put(buf)
+	return err
+}
+
+// --- primitive writers ---------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendSvarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendTable embeds a job-table snapshot as a flagged gob blob (gossip
+// and sync frames only — never data messages).
+func appendTable(b []byte, t []jobtable.Entry) []byte {
+	if len(t) == 0 {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(t); err != nil {
+		// Entries are plain data; encoding them cannot fail. Emit an
+		// empty blob rather than a torn frame if it somehow does.
+		return appendBytes(b[:len(b)-1], nil)
+	}
+	return appendBytes(b, blob.Bytes())
+}
+
+func appendMembers(b []byte, ms []MemberRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ms)))
+	for _, m := range ms {
+		b = appendString(b, m.Addr)
+		b = append(b, m.State)
+		b = binary.AppendUvarint(b, m.Incarnation)
+	}
+	return b
+}
+
+// --- primitive reader ----------------------------------------------------
+
+// reader decodes a frame payload; the first error sticks and zero values
+// flow from then on, checked once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (d *reader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: truncated frame")
+	}
+	d.b = nil
+}
+
+func (d *reader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *reader) svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *reader) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *reader) bool() bool { return d.u8() != 0 }
+
+// raw returns the next n bytes of the frame without copying.
+func (d *reader) raw(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *reader) str() string {
+	return string(d.raw(d.uvarint()))
+}
+
+// bytes copies the next length-prefixed slice out of the pooled frame
+// (the frame buffer is reused as soon as decode returns).
+func (d *reader) bytes() []byte {
+	n := d.uvarint()
+	if n == 0 {
+		return nil
+	}
+	src := d.raw(n)
+	if src == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, src)
+	return out
+}
+
+func (d *reader) strs() []string {
+	n := d.uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)) { // each entry takes ≥1 byte
+		d.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *reader) table() []jobtable.Entry {
+	if !d.bool() {
+		return nil
+	}
+	blob := d.raw(d.uvarint())
+	if len(blob) == 0 {
+		return nil
+	}
+	var t []jobtable.Entry
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&t); err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return nil
+	}
+	return t
+}
+
+func (d *reader) members() []MemberRecord {
+	n := d.uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := make([]MemberRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var m MemberRecord
+		m.Addr = d.str()
+		m.State = d.u8()
+		m.Incarnation = d.uvarint()
+		out = append(out, m)
+	}
+	return out
+}
+
+// --- message codecs ------------------------------------------------------
+
+// AppendRequestFrame appends the binary encoding of r to b (no length
+// prefix) and returns the extended slice. Exported for the codec
+// benchmark; the wire path goes through Conn.
+func AppendRequestFrame(b []byte, r *Request) []byte { return appendRequest(b, r) }
+
+// DecodeRequestFrame decodes a payload produced by AppendRequestFrame.
+func DecodeRequestFrame(b []byte, r *Request) error { return decodeRequest(b, r) }
+
+// AppendResponseFrame appends the binary encoding of r to b.
+func AppendResponseFrame(b []byte, r *Response) []byte { return appendResponse(b, r) }
+
+// DecodeResponseFrame decodes a payload produced by AppendResponseFrame.
+func DecodeResponseFrame(b []byte, r *Response) error { return decodeResponse(b, r) }
+
+func appendRequest(b []byte, r *Request) []byte {
+	b = append(b, byte(r.Type))
+	b = appendUvarint(b, r.Seq)
+	b = appendString(b, r.Job.JobID)
+	b = appendString(b, r.Job.UserID)
+	b = appendString(b, r.Job.GroupID)
+	b = appendSvarint(b, int64(r.Job.Nodes))
+	b = appendSvarint(b, int64(r.Job.Priority))
+	b = appendSvarint(b, int64(r.Job.Presence))
+	b = appendString(b, r.Path)
+	b = appendSvarint(b, r.Offset)
+	b = appendSvarint(b, r.Size)
+	b = appendBytes(b, r.Data)
+	b = appendSvarint(b, int64(r.Stripes))
+	b = appendSvarint(b, r.StripeUnit)
+	b = appendStrings(b, r.StripeSet)
+	b = appendString(b, r.From)
+	b = appendMembers(b, r.Members)
+	b = appendTable(b, r.Table)
+	return b
+}
+
+func decodeRequest(b []byte, r *Request) error {
+	d := reader{b: b}
+	r.Type = MsgType(d.u8())
+	r.Seq = d.uvarint()
+	r.Job.JobID = d.str()
+	r.Job.UserID = d.str()
+	r.Job.GroupID = d.str()
+	r.Job.Nodes = int(d.svarint())
+	r.Job.Priority = int(d.svarint())
+	r.Job.Presence = int(d.svarint())
+	r.Path = d.str()
+	r.Offset = d.svarint()
+	r.Size = d.svarint()
+	r.Data = d.bytes()
+	r.Stripes = int(d.svarint())
+	r.StripeUnit = d.svarint()
+	r.StripeSet = d.strs()
+	r.From = d.str()
+	r.Members = d.members()
+	r.Table = d.table()
+	return d.err
+}
+
+func appendResponse(b []byte, r *Response) []byte {
+	b = appendUvarint(b, r.Seq)
+	b = appendString(b, r.Err)
+	b = appendSvarint(b, r.N)
+	b = appendBytes(b, r.Data)
+	b = appendSvarint(b, r.Size)
+	b = appendBool(b, r.IsDir)
+	b = appendStrings(b, r.Names)
+	b = appendSvarint(b, int64(r.Stripes))
+	b = appendSvarint(b, r.StripeUnit)
+	b = appendStrings(b, r.StripeSet)
+	b = appendUvarint(b, r.Epoch)
+	b = appendMembers(b, r.Members)
+	b = appendTable(b, r.Table)
+	return b
+}
+
+func decodeResponse(b []byte, r *Response) error {
+	d := reader{b: b}
+	r.Seq = d.uvarint()
+	r.Err = d.str()
+	r.N = d.svarint()
+	r.Data = d.bytes()
+	r.Size = d.svarint()
+	r.IsDir = d.bool()
+	r.Names = d.strs()
+	r.Stripes = int(d.svarint())
+	r.StripeUnit = d.svarint()
+	r.StripeSet = d.strs()
+	r.Epoch = d.uvarint()
+	r.Members = d.members()
+	r.Table = d.table()
+	return d.err
+}

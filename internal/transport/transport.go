@@ -1,9 +1,26 @@
 // Package transport defines the wire protocol between ThemisIO clients
 // and servers, and between servers (job-table synchronization). The
 // paper uses UCX over InfiniBand (§4.2); this implementation frames the
-// same message semantics with encoding/gob over any net.Conn — the
-// scheduler arbitrates at the request level either way, and transport
-// latency constants live in the simulator, not here.
+// same message semantics over any net.Conn — the scheduler arbitrates at
+// the request level either way, and transport latency constants live in
+// the simulator, not here.
+//
+// Two codecs share the stream format:
+//
+//   - gob (legacy): self-describing, reflective, and what every peer
+//     spoke before the binary codec existed. Server↔server control
+//     traffic (gossip, the legacy MsgSync all-gather) stays on gob.
+//   - binary: a length-prefixed hand-rolled framing for the hot data
+//     messages (read/write/response payloads) with pooled buffers —
+//     near-zero steady-state allocation on the request path.
+//
+// Negotiation is per connection and receiver-driven: a binary sender
+// prefixes its stream with a magic that can never begin a gob stream (a
+// gob message cannot have length zero, so a leading 0x00 byte is
+// unambiguous); every receiver peeks the first bytes and picks the
+// decoder. The accept side of a connection additionally adopts the
+// peer's codec for its replies, so an old gob client keeps talking to a
+// new server entirely in gob.
 //
 // Every I/O request carries the job metadata (job id, user id, group,
 // node count) that the server's policies evaluate — the paper's key
@@ -11,6 +28,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -130,23 +149,85 @@ func (r *Response) Error() error {
 	return fmt.Errorf("%s", r.Err)
 }
 
-// Conn is a gob-framed message stream with serialized writes.
+// binMagic announces the binary codec at the start of a stream. The
+// leading 0x00 can never begin a gob stream (gob frames open with a
+// non-zero uvarint byte count), which is what makes receiver-side
+// detection unambiguous.
+var binMagic = [4]byte{0x00, 'T', 'B', '1'}
+
+// Conn is a framed message stream with serialized writes. Each direction
+// is independently either gob- or binary-coded; see the package comment
+// for the negotiation rules.
 type Conn struct {
 	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	wmu sync.Mutex
+	br  *bufio.Reader
+
+	// Send state, guarded by wmu. sendBin may additionally be flipped by
+	// the receive path (codec adoption) before the first reply is sent;
+	// the request whose arrival triggered the flip happens-before its
+	// reply, so the update is ordered for every sender.
+	wmu       sync.Mutex
+	enc       *gob.Encoder
+	sendBin   bool
+	adopt     bool
+	magicSent bool
+
+	// Receive state, owned by the single reader goroutine.
+	dec      *gob.Decoder
+	recvBin  bool
+	detected bool
 }
 
-// NewConn wraps a net.Conn.
+// NewConn wraps a net.Conn in legacy mode: sends are gob, receives
+// auto-detect the peer's codec, and — this being the accept side — the
+// send direction adopts the detected codec for replies.
 func NewConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+	return &Conn{raw: raw, br: bufio.NewReader(raw), adopt: true}
+}
+
+// NewBinaryConn wraps a net.Conn in binary mode (the dial side of a data
+// connection): sends are length-prefixed binary opened with the codec
+// magic; receives still auto-detect, so a reply stream from either kind
+// of peer is understood.
+func NewBinaryConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, br: bufio.NewReader(raw), sendBin: true}
+}
+
+// detect inspects the first bytes of the receive stream and locks in the
+// decoder. Called from the receive path only (one reader per conn).
+func (c *Conn) detect() error {
+	if c.detected {
+		return nil
+	}
+	b, err := c.br.Peek(len(binMagic))
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(b, binMagic[:]) {
+		if _, err := c.br.Discard(len(binMagic)); err != nil {
+			return err
+		}
+		c.recvBin = true
+		if c.adopt {
+			c.wmu.Lock()
+			c.sendBin = true
+			c.wmu.Unlock()
+		}
+	}
+	c.detected = true
+	return nil
 }
 
 // SendRequest writes a request frame.
 func (c *Conn) SendRequest(r *Request) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.sendBin {
+		return c.writeFrame(func(b []byte) []byte { return appendRequest(b, r) })
+	}
+	if c.enc == nil {
+		c.enc = gob.NewEncoder(c.raw)
+	}
 	return c.enc.Encode(r)
 }
 
@@ -154,11 +235,30 @@ func (c *Conn) SendRequest(r *Request) error {
 func (c *Conn) SendResponse(r *Response) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.sendBin {
+		return c.writeFrame(func(b []byte) []byte { return appendResponse(b, r) })
+	}
+	if c.enc == nil {
+		c.enc = gob.NewEncoder(c.raw)
+	}
 	return c.enc.Encode(r)
 }
 
 // RecvRequest reads a request frame (server side).
 func (c *Conn) RecvRequest() (*Request, error) {
+	if err := c.detect(); err != nil {
+		return nil, err
+	}
+	if c.recvBin {
+		r := new(Request)
+		if err := c.readFrame(func(b []byte) error { return decodeRequest(b, r) }); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	if c.dec == nil {
+		c.dec = gob.NewDecoder(c.br)
+	}
 	var r Request
 	if err := c.dec.Decode(&r); err != nil {
 		return nil, err
@@ -168,6 +268,19 @@ func (c *Conn) RecvRequest() (*Request, error) {
 
 // RecvResponse reads a response frame (client side).
 func (c *Conn) RecvResponse() (*Response, error) {
+	if err := c.detect(); err != nil {
+		return nil, err
+	}
+	if c.recvBin {
+		r := new(Response)
+		if err := c.readFrame(func(b []byte) error { return decodeResponse(b, r) }); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	if c.dec == nil {
+		c.dec = gob.NewDecoder(c.br)
+	}
 	var r Response
 	if err := c.dec.Decode(&r); err != nil {
 		return nil, err
