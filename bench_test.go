@@ -136,6 +136,18 @@ func BenchmarkMetadataIsolation(b *testing.B) {
 	}
 }
 
+// BenchmarkStageOutSharing measures the drain engine's bandwidth share
+// against a foreground job under two policies; the share must track the
+// compiled token share (EXPERIMENTS.md records the numbers).
+func BenchmarkStageOutSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.StageOut()
+		reportMetrics(b, res,
+			"sizefair_fg_gbps", "sizefair_drain_gbps",
+			"sizefair_drain_share", "jobfair_drain_share")
+	}
+}
+
 // --- micro-benchmarks of the contribution's hot paths -------------------
 
 func makeJobs(n int) []policy.JobInfo {

@@ -13,10 +13,13 @@
 //	themisctl -servers 127.0.0.1:7000 rm /data/x
 //	themisctl -servers 127.0.0.1:7000 cluster status
 //	themisctl -servers 127.0.0.1:7001 cluster drain
+//	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 flush
 //
 // `cluster status` prints the membership table as seen by the first
 // server; `cluster drain` asks that server to stop owning ring segments
-// ahead of a graceful shutdown.
+// ahead of a graceful shutdown; `flush` forces every listed server to
+// stage all dirty data out to its backing store before returning (the
+// durability barrier to run before maintenance).
 package main
 
 import (
@@ -45,13 +48,23 @@ func main() {
 	stripeUnit := flag.Int64("stripe-unit", 0, "bytes per stripe chunk (0 = default)")
 	flag.Parse()
 	args := flag.Args()
+	addrs := strings.Split(*servers, ",")
+
+	if len(args) == 1 && args[0] == "flush" {
+		for _, addr := range addrs {
+			if err := flushCmd(addr); err != nil {
+				log.Fatalf("themisctl: flush %s: %v", addr, err)
+			}
+			fmt.Printf("%s\tflushed\n", addr)
+		}
+		return
+	}
 	if len(args) < 2 {
 		fmt.Fprintln(os.Stderr,
-			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain}")
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | flush")
 		os.Exit(2)
 	}
 	cmd, path := args[0], args[1]
-	addrs := strings.Split(*servers, ",")
 
 	if cmd == "cluster" {
 		if err := clusterCmd(addrs[0], path); err != nil {
@@ -126,6 +139,35 @@ func main() {
 	}
 }
 
+// controlExchange performs one control request/response round trip with
+// a server (the operator commands bypass the client library).
+func controlExchange(addr string, typ transport.MsgType) (*transport.Response, error) {
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn := transport.NewConn(raw)
+	defer conn.Close()
+	if err := conn.SendRequest(&transport.Request{Type: typ, Seq: 1}); err != nil {
+		return nil, err
+	}
+	resp, err := conn.RecvResponse()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, resp.Error()
+	}
+	return resp, nil
+}
+
+// flushCmd forces one server to stage out every dirty byte. The wait is
+// bounded server-side by its flush timeout.
+func flushCmd(addr string) error {
+	_, err := controlExchange(addr, transport.MsgFlush)
+	return err
+}
+
 // clusterCmd talks the fabric control protocol directly to one server.
 func clusterCmd(addr, sub string) error {
 	var typ transport.MsgType
@@ -137,21 +179,9 @@ func clusterCmd(addr, sub string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q (want status or drain)", sub)
 	}
-	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	resp, err := controlExchange(addr, typ)
 	if err != nil {
 		return err
-	}
-	conn := transport.NewConn(raw)
-	defer conn.Close()
-	if err := conn.SendRequest(&transport.Request{Type: typ, Seq: 1}); err != nil {
-		return err
-	}
-	resp, err := conn.RecvResponse()
-	if err != nil {
-		return err
-	}
-	if resp.Err != "" {
-		return resp.Error()
 	}
 	fmt.Printf("epoch %d, %d members (as seen by %s)\n", resp.Epoch, len(resp.Members), addr)
 	for _, m := range cluster.FromRecords(resp.Members) {

@@ -5,6 +5,7 @@
 //	themisd -listen 127.0.0.1:7000 -policy size-fair
 //	themisd -listen 127.0.0.1:7001 -policy size-fair -join 127.0.0.1:7000
 //	themisd -listen 127.0.0.1:7002 -policy size-fair -join 127.0.0.1:7000 -gossip-fanout 3
+//	themisd -listen 127.0.0.1:7003 -policy size-fair -join 127.0.0.1:7000 -backing /pfs/bb
 //
 // The sharing policy is the single administrator-facing parameter the
 // paper describes; any primitive or composite policy string parses
@@ -16,6 +17,13 @@
 // server exchanges with -gossip-fanout random peers per λ, not with
 // every peer. On SIGTERM the server leaves gracefully so its ring
 // segment reassigns immediately instead of after the failure timeout.
+//
+// With -backing, the server stages dirty data out to the given
+// directory (the stand-in for the parallel file system behind the burst
+// buffer) in the background — under the sharing policy, as a synthetic
+// stage-out job — re-hydrates its shard from it on start, and adopts a
+// failed peer's files from it during failover. A graceful shutdown
+// flushes before leaving. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"strings"
 	"syscall"
 
+	"themisio/internal/backing"
 	"themisio/internal/policy"
 	"themisio/internal/server"
 )
@@ -39,6 +48,7 @@ func main() {
 	peers := flag.String("peers", "", "deprecated alias for -join (was: static peer list)")
 	join := flag.String("join", "", "comma-separated addresses of existing cluster members")
 	fanout := flag.Int("gossip-fanout", 0, "random peers gossiped with per λ round (0 = default)")
+	backingDir := flag.String("backing", "", "backing-store directory for stage-out durability (empty = volatile)")
 	flag.Parse()
 
 	pol, err := policy.Parse(*polStr)
@@ -56,13 +66,24 @@ func main() {
 	if *peers != "" {
 		seeds = append(seeds, strings.Split(*peers, ",")...)
 	}
-	srv := server.New(ln, server.Config{
+	cfg := server.Config{
 		Policy:       pol,
 		Workers:      *workers,
 		Capacity:     *capacity,
 		Join:         seeds,
 		GossipFanout: *fanout,
-	})
+	}
+	if *backingDir != "" {
+		store, err := backing.OpenDir(*backingDir)
+		if err != nil {
+			log.Fatalf("themisd: %v", err)
+		}
+		cfg.Backing = store
+	}
+	srv := server.New(ln, cfg)
+	if err := srv.BootErr(); err != nil {
+		log.Fatalf("themisd: %v", err)
+	}
 	log.Printf("themisd: serving on %s, policy %s, %d workers", srv.Addr(), pol, *workers)
 
 	sig := make(chan os.Signal, 1)

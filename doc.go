@@ -12,18 +12,32 @@
 //     their compilation to token assignments (Equation 1)
 //   - internal/token    — transition matrices, chain products, segment
 //     sampling
-//   - internal/jobtable — job status tables and the λ-interval all-gather
+//   - internal/jobtable — job status tables and the λ-interval
+//     synchronization (gossip-disseminated since the cluster fabric)
 //   - internal/sched    — the scheduler interface plus FIFO, GIFT and TBF
 //     baselines
 //   - internal/bb       — the discrete-event burst-buffer simulator that
-//     regenerates every figure of the paper's evaluation
+//     regenerates every figure of the paper's evaluation, with fabric
+//     and stage-out mirrors
 //   - internal/cluster  — the multi-server fabric: membership
 //     (join/leave/drain/fail), gossip-based λ-sync, and failover
+//   - internal/backing  — stage-out durability: the backing-store
+//     interface, the policy-governed drain engine, and crash/failover
+//     re-hydration
 //   - internal/fsys, internal/storage, internal/chash — the user-space
-//     file system substrate
+//     file system substrate (shards, extent store, dirty-range maps,
+//     consistent-hash placement)
 //   - internal/server, internal/client, internal/transport — the live
 //     (socket) server and POSIX-style client, with client-side striping
+//   - internal/workload — the request streams of the paper's evaluation
+//     (IOR runs, write/read cycles, stat storms)
+//   - internal/metrics  — binned throughput series and summary statistics
+//     behind every measurement
+//   - internal/sim      — the discrete-event engine under the simulator
+//   - internal/apptrace — the §5 application I/O traces (NAMD, WRF, ...)
 //   - internal/experiments — one runner per paper table/figure
 //
-// See README.md for a tour of the repository.
+// See README.md for a tour of the repository and ARCHITECTURE.md for the
+// end-to-end walkthrough (request path, cluster fabric, stage-out
+// pipeline).
 package themisio

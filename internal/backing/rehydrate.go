@@ -1,0 +1,287 @@
+package backing
+
+import (
+	"fmt"
+
+	"themisio/internal/fsys"
+)
+
+// Re-hydration: the stage-in half of the lifecycle. Two entry points:
+//
+//   - Rehydrate restores a server's own staged entries at startup (crash
+//     or maintenance restart with the same listen address).
+//   - RecoverSegment runs on every survivor when members fail: the new
+//     ring owner of each affected path reassembles the full file from
+//     the staged stripes and adopts it; other survivors drop their now
+//     stale local stripes.
+
+// Rehydrate restores every staged entry owned by self into the shard —
+// the crash-restart stage-in. Restored entries are clean (their content
+// is, by definition, already staged). Returns the number of entries
+// restored.
+func Rehydrate(shard *fsys.Shard, store Store, self string) (int, error) {
+	manifest, err := store.Manifest()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	// Directories first, so files land in existing parents.
+	for _, m := range manifest {
+		if m.Owner != self || !m.IsDir {
+			continue
+		}
+		if err := shard.RestoreDir(m.Path, m.Children); err != nil {
+			return n, fmt.Errorf("backing: rehydrating %s: %w", m.Path, err)
+		}
+		n++
+	}
+	for _, m := range manifest {
+		if m.Owner != self || m.IsDir {
+			continue
+		}
+		data, _, err := store.ReadObject(self, m.Path, m.Stripe)
+		if err != nil {
+			return n, fmt.Errorf("backing: rehydrating %s: %w", m.Path, err)
+		}
+		if err := shard.RestoreFile(m.Path, data, m.Stripes, m.StripeUnit, m.StripeSet); err != nil {
+			return n, fmt.Errorf("backing: rehydrating %s: %w", m.Path, err)
+		}
+		n++
+	}
+	shard.ClearDirty()
+	return n, nil
+}
+
+// holders returns the servers holding an object's file, preferring the
+// recorded stripe set (the unstriped server-side default records none,
+// so the staging owner stands in).
+func holders(m FileMeta) []string {
+	if len(m.StripeSet) > 0 {
+		return m.StripeSet
+	}
+	return []string{m.Owner}
+}
+
+// stageLocal synchronously stages any un-staged dirty bytes of p held
+// by this shard, so recovery never drops or reassembles over a backing
+// copy staler than the live data. On failure the bytes are re-marked
+// dirty and the error returned (the caller retries the whole pass).
+func stageLocal(shard *fsys.Shard, store Store, self, p string) error {
+	for _, c := range shard.CollectDirtyPath(p, 1<<20) {
+		meta := FileMeta{
+			Owner: self, Path: c.Path,
+			Stripe: c.Stripe, Stripes: c.Stripes,
+			StripeUnit: c.Unit, StripeSet: c.Set,
+		}
+		if err := store.WriteRange(meta, c.Off, c.Data); err != nil {
+			shard.MarkDirty(c.Path, c.Off, int64(len(c.Data)))
+			return err
+		}
+	}
+	return nil
+}
+
+// StageAffected synchronously stages this shard's un-staged dirty bytes
+// of every file that shares a stripe set with a dead member — the first
+// phase of failover recovery, run by every survivor as soon as it
+// learns of the failure. Adoption (RecoverSegment) runs a couple of λ
+// ticks later, so by the time any adopter reassembles, the other
+// survivors' freshest bytes are in the backing store with high
+// probability (failure sightings spread by gossip within a round or
+// two; a strict guarantee would need cross-server coordination).
+func StageAffected(shard *fsys.Shard, store Store, self string, dead []string) error {
+	var firstErr error
+	for _, a := range dead {
+		for _, p := range shard.FilesWithServer(a) {
+			if err := stageLocal(shard, store, self, p); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// RecoverSegment reconciles the shard with the backing store after the
+// given members failed. ownerOf maps a path to its current ring owner
+// (the post-failover ring, which no longer contains the dead members).
+// For every staged file with a dead holder:
+//
+//   - If self is the path's new ring owner, the file's full content is
+//     reassembled from the staged stripes and adopted locally under a
+//     fresh single-stripe layout (set = [self]); the new copy is staged
+//     back immediately and the stale stripe objects are deleted, so the
+//     backing store converges on the new layout.
+//   - Otherwise any stale local stripe of the file is dropped: clients
+//     re-learn the new layout from the ring owner's metadata, and the
+//     stale copy would only squat on device space.
+//
+// Returns the number of files adopted and dropped.
+func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, ownerOf func(path string) (string, bool)) (adopted, dropped int, err error) {
+	isDead := make(map[string]bool, len(dead))
+	for _, a := range dead {
+		isDead[a] = true
+	}
+	// Drop pass first, from the shard's own records: a local stripe of a
+	// file that lost a holder is stale unless this server is the file's
+	// new owner. This must not depend on the manifest — the adopting
+	// owner rewrites it concurrently. Any un-staged bytes of the stripe
+	// are staged before the drop, so the adopter's reassembly sees them
+	// (the adopter may race ahead of this stage by a gossip round — the
+	// same bounded window as any asynchronous write-back).
+	var firstErr error
+	for _, a := range dead {
+		for _, p := range shard.FilesWithServer(a) {
+			if owner, ok := ownerOf(p); ok && owner != self {
+				if err := stageLocal(shard, store, self, p); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue // keep the local copy; the caller retries
+				}
+				if shard.DropStale(p) {
+					dropped++
+				}
+			}
+		}
+	}
+	// Adopt pass: collect every affected path whose new ring owner is
+	// self — from the manifest (files staged by anyone) unioned with the
+	// shard's own records (files written but never yet staged, which
+	// have no manifest rows at all but still need their layout rewritten
+	// off the dead member).
+	manifest, merr := store.Manifest()
+	if merr != nil {
+		return 0, dropped, merr
+	}
+	type layout struct {
+		stripes int
+		unit    int64
+	}
+	adopt := map[string]*layout{}
+	for _, m := range manifest {
+		if m.IsDir {
+			continue
+		}
+		hit := false
+		for _, h := range holders(m) {
+			if isDead[h] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		if owner, ok := ownerOf(m.Path); !ok || owner != self {
+			continue // the drop pass handled any stale local stripe
+		}
+		l := adopt[m.Path]
+		if l == nil {
+			l = &layout{stripes: 1}
+			adopt[m.Path] = l
+		}
+		if m.Stripes > l.stripes {
+			l.stripes = m.Stripes
+		}
+		if m.StripeUnit > 0 {
+			l.unit = m.StripeUnit
+		}
+	}
+	for _, a := range dead {
+		for _, p := range shard.FilesWithServer(a) {
+			if _, ok := adopt[p]; ok {
+				continue
+			}
+			if owner, ok := ownerOf(p); !ok || owner != self {
+				continue
+			}
+			fi, serr := shard.Stat(p)
+			if serr != nil {
+				continue
+			}
+			adopt[p] = &layout{stripes: fi.Stripes, unit: fi.StripeUnit}
+		}
+	}
+	if len(adopt) == 0 {
+		return 0, dropped, firstErr
+	}
+	// Stage fresher local bytes of every adopt path first (this server
+	// may itself hold stripes of them), then reload the manifest once:
+	// the reload maps each (path, stripe) to its row — owner for
+	// targeted reads, size for the shrink check — without re-scanning
+	// the store per stripe.
+	for path := range adopt {
+		if rerr := stageLocal(shard, store, self, path); rerr != nil && firstErr == nil {
+			firstErr = rerr
+		}
+	}
+	manifest, merr = store.Manifest()
+	if merr != nil {
+		return 0, dropped, merr
+	}
+	type rowKey struct {
+		path   string
+		stripe int
+	}
+	rows := map[rowKey]FileMeta{}
+	for _, m := range manifest {
+		if !m.IsDir {
+			rows[rowKey{m.Path, m.Stripe}] = m
+		}
+	}
+	for path, l := range adopt {
+		rowOwner := map[int]string{}
+		var objs []FileMeta
+		for i := 0; i < l.stripes; i++ {
+			if m, ok := rows[rowKey{path, i}]; ok {
+				rowOwner[i] = m.Owner
+				objs = append(objs, m)
+			}
+		}
+		full, rerr := reassembleRows(store, path, l.stripes, l.unit, rowOwner)
+		if rerr != nil {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		if rerr := shard.RestoreFile(path, full, 1, l.unit, []string{self}); rerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("backing: adopting %s: %w", path, rerr)
+			}
+			continue
+		}
+		// Stage the adopted copy back synchronously under the new layout,
+		// then retire the stale stripe objects: the backing store never
+		// loses its only copy (new object first, stale deletes after).
+		// When the reassembly came out *shorter* than the pre-existing
+		// same-key object (a stripe was missing and truncated the file),
+		// the old object is deleted first — an overwrite would leave its
+		// stale tail under a larger recorded size.
+		if prev, ok := rows[rowKey{path, 0}]; ok && prev.Owner == self && prev.Size > int64(len(full)) {
+			if derr := store.DeleteObject(self, path, 0); derr != nil && firstErr == nil {
+				firstErr = derr
+			}
+		}
+		meta := FileMeta{
+			Owner: self, Path: path, Stripe: 0, Stripes: 1,
+			StripeUnit: l.unit, StripeSet: []string{self},
+		}
+		if werr := store.WriteRange(meta, 0, full); werr != nil {
+			if firstErr == nil {
+				firstErr = werr
+			}
+			// Fall back to the async path: mark dirty so a pump retries.
+			shard.MarkDirty(path, 0, int64(len(full)))
+		} else {
+			for _, m := range objs {
+				if m.Owner == self && m.Stripe == 0 {
+					continue // the object just (re)written
+				}
+				_ = store.DeleteObject(m.Owner, m.Path, m.Stripe)
+			}
+		}
+		adopted++
+	}
+	return adopted, dropped, firstErr
+}

@@ -1,0 +1,48 @@
+package bb
+
+import (
+	"testing"
+	"time"
+
+	"themisio/internal/core"
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+	"themisio/internal/workload"
+)
+
+// TestStageOutMirrorsPolicy: the simulated drain (a background writer
+// under the stage-out job identity) splits write bandwidth with a
+// foreground job exactly as the policy compiles — job-fair here, so
+// ~50/50 — and vanishes from contention when it stops.
+func TestStageOutMirrorsPolicy(t *testing.T) {
+	c := NewCluster(Config{
+		Servers:  1,
+		NewSched: func(i int, _ float64) sched.Scheduler { return core.New(policy.JobFair, 7) },
+	})
+	job := policy.JobInfo{JobID: "fg", UserID: "u1", Nodes: 1}
+	for i := 0; i < 16; i++ {
+		c.AddProc(Proc{
+			Job:    job,
+			Stream: workload.IORLoop(sched.OpWrite, workload.MB),
+			Start:  time.Duration(i) * 437 * time.Microsecond,
+			Stop:   12 * time.Second,
+		})
+	}
+	c.AddStageOut(0, 0, 64, 0, 6*time.Second)
+	c.Run(12 * time.Second)
+
+	drainID := StageOutJobID(0)
+	fgShared := c.Meter().MeanRate("fg", 1*time.Second, 5*time.Second)
+	drain := c.Meter().MeanRate(drainID, 1*time.Second, 5*time.Second)
+	share := drain / (fgShared + drain)
+	if share < 0.42 || share > 0.58 {
+		t.Fatalf("drain share under job-fair = %.3f, want ~0.5 (fg %.2f vs drain %.2f GB/s)",
+			share, fgShared/1e9, drain/1e9)
+	}
+	// After the drain stops, opportunity fairness hands its share back.
+	fgAlone := c.Meter().MeanRate("fg", 8*time.Second, 11*time.Second)
+	if fgAlone < 1.6*fgShared {
+		t.Fatalf("foreground did not reclaim the drain's share: %.2f vs %.2f GB/s",
+			fgAlone/1e9, fgShared/1e9)
+	}
+}

@@ -854,6 +854,25 @@ func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transp
 	return out, nil
 }
 
+// Flush asks every connected server to stage out all dirty data to its
+// backing store before returning — the client-visible durability
+// barrier (an application calls it after writing a checkpoint it cannot
+// afford to lose). Servers without a backing store reply immediately.
+func (c *Client) Flush() error {
+	resps, err := c.broadcast("/", func() *transport.Request {
+		return &transport.Request{Type: transport.MsgFlush}
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range resps {
+		if r.Err != "" {
+			return r.Error()
+		}
+	}
+	return nil
+}
+
 // Mkdir creates a directory (replicated on every server).
 func (c *Client) Mkdir(path string) error {
 	resps, err := c.broadcast(path, func() *transport.Request {

@@ -86,6 +86,7 @@ var Registry = []Spec{
 	{"fig14", "Figure 14: λ-delayed global fairness", Fig14},
 	{"ablation", "design ablations: opportunity fairness, presence deweighting", Ablation},
 	{"metadata", "§2.2.1 metadata-storm isolation (iops_stat)", Metadata},
+	{"stageout", "stage-out drain vs foreground under the sharing policy", StageOut},
 }
 
 // Lookup finds a registry entry by ID.

@@ -20,7 +20,8 @@ func metricsOf(t *testing.T, r *Result) map[string]float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"capacity", "fig1", "fig7", "fig8a", "fig8b", "fig8c",
-		"fig9", "fig10", "fig12", "fig13", "fig14", "ablation", "metadata"}
+		"fig9", "fig10", "fig12", "fig13", "fig14", "ablation", "metadata",
+		"stageout"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -168,6 +169,22 @@ func TestMetadataIsolationShape(t *testing.T) {
 	}
 	if m["fifo_storm_ops"] < 0.5e6 {
 		t.Fatalf("storm should saturate the IOPS envelope under FIFO: %.0f ops/s", m["fifo_storm_ops"])
+	}
+}
+
+func TestStageOutShareTracksPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stage-out sharing scenario takes ~15s")
+	}
+	m := metricsOf(t, StageOut())
+	if s := m["sizefair_drain_share"]; s < 0.21 || s > 0.29 {
+		t.Fatalf("size-fair drain share = %.3f, want ~0.25", s)
+	}
+	if s := m["jobfair_drain_share"]; s < 0.44 || s > 0.56 {
+		t.Fatalf("job-fair drain share = %.3f, want ~0.50", s)
+	}
+	if m["sizefair_fg_gbps"] < 7 {
+		t.Fatalf("foreground under size-fair = %.1f GB/s, drain must not starve it", m["sizefair_fg_gbps"])
 	}
 }
 

@@ -56,6 +56,17 @@ type node struct {
 	stripes  int
 	unit     int64
 	set      []string
+	// gen is the entry's creation generation (unique per shard
+	// lifetime): stage-out work harvested from one incarnation of a
+	// path must never land against a later one (unlink + recreate).
+	gen uint64
+	// dirty tracks byte ranges written since the last stage-out (files);
+	// metaDirty marks an entry whose existence or child set is not yet
+	// staged (set at creation — so empty files reach the backing store
+	// — and on directory child changes). Both feed the drain engine
+	// (see stageout.go).
+	dirty     *storage.RangeSet
+	metaDirty bool
 }
 
 // Shard is the per-server piece of the file system: the namespace
@@ -67,6 +78,12 @@ type Shard struct {
 
 	mu    sync.RWMutex
 	nodes map[string]*node
+	// genCtr issues node creation generations (see node.gen).
+	genCtr uint64
+	// tombstones records entries removed since the last TakeTombstones —
+	// the drain engine propagates them as backing-store deletes of this
+	// server's own staged objects.
+	tombstones []Tombstone
 }
 
 // NewShard returns a shard named name with a device of the given
@@ -105,11 +122,13 @@ func (s *Shard) CreateEntry(p string, dir bool, stripes int, unit int64, set []s
 	if _, ok := s.nodes[p]; ok {
 		return ErrExist
 	}
-	n := &node{isDir: dir, stripes: stripes, unit: unit, set: set}
+	s.genCtr++
+	n := &node{isDir: dir, stripes: stripes, unit: unit, set: set, gen: s.genCtr, metaDirty: true}
 	if dir {
 		n.children = map[string]bool{}
 	} else {
 		n.index = storage.NewIndex()
+		n.dirty = storage.NewRangeSet()
 	}
 	s.nodes[p] = n
 	return nil
@@ -128,6 +147,7 @@ func (s *Shard) AddChild(dir, child string) error {
 		return ErrNotDir
 	}
 	d.children[child] = true
+	d.metaDirty = true
 	return nil
 }
 
@@ -141,6 +161,7 @@ func (s *Shard) RemoveChild(dir, child string) error {
 		return ErrNotExist
 	}
 	delete(d.children, child)
+	d.metaDirty = true
 	return nil
 }
 
@@ -165,6 +186,7 @@ func (s *Shard) RemoveEntry(p string) error {
 		}
 	}
 	delete(s.nodes, p)
+	s.tombstones = append(s.tombstones, Tombstone{Path: p, Stripe: s.stripeOf(n)})
 	return nil
 }
 
@@ -206,13 +228,17 @@ func (s *Shard) Readdir(p string) ([]string, error) {
 }
 
 // Append writes data to the end of the local stripe of the file and
-// returns the new local size. Extent allocation is the only serialized
-// step; the data copy itself is lock-free (§4.3).
+// returns the new local size. The shard read-lock is held for the whole
+// operation: concurrent appends and reads still proceed in parallel
+// (shared lock, and extent allocation serializes only on the store's
+// own mutex, §4.3), but an entry replacement (recovery's RestoreFile /
+// DropStale, which release the node's extents) cannot interleave and
+// orphan an acknowledged write.
 func (s *Shard) Append(p string, data []byte) (int64, error) {
 	p = clean(p)
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n, ok := s.nodes[p]
-	s.mu.RUnlock()
 	if !ok {
 		return 0, ErrNotExist
 	}
@@ -229,20 +255,25 @@ func (s *Shard) Append(p string, data []byte) (int64, error) {
 	if _, err := s.store.WriteAt(ext, 0, data); err != nil {
 		return 0, err
 	}
-	n.index.Append(ext)
+	off := n.index.Append(ext)
+	if n.dirty != nil {
+		n.dirty.Mark(off, ext.Len)
+	}
 	return n.index.Size(), nil
 }
 
 // ReadAt reads up to len(buf) bytes of the local stripe at offset off;
-// short reads at EOF return the available prefix.
+// short reads at EOF return the available prefix. Like Append, the
+// shard read-lock is held across the copy so the extents cannot be
+// released by a concurrent entry replacement mid-read.
 func (s *Shard) ReadAt(p string, off int64, buf []byte) (int, error) {
 	p = clean(p)
 	if off < 0 {
 		return 0, ErrBadOffset
 	}
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n, ok := s.nodes[p]
-	s.mu.RUnlock()
 	if !ok {
 		return 0, ErrNotExist
 	}

@@ -58,9 +58,13 @@ func (s *Shard) Snapshot(w io.Writer) error {
 			}
 			sort.Strings(e.Childs)
 		} else {
-			e.Data = make([]byte, n.index.Size())
+			// Capture the size once: appends proceed under the shard
+			// read-lock, so a second Size() call could exceed the buffer
+			// just allocated.
+			size := n.index.Size()
+			e.Data = make([]byte, size)
 			off := 0
-			for _, sl := range n.index.Resolve(0, n.index.Size()) {
+			for _, sl := range n.index.Resolve(0, size) {
 				m, err := s.store.ReadAt(sl.Ext, sl.Off, e.Data[off:off+int(sl.Len)])
 				if err != nil {
 					s.mu.RUnlock()
@@ -101,7 +105,10 @@ func RestoreShard(r io.Reader, capacity int64) (*Shard, error) {
 	if h.Magic != snapshotMagic {
 		return nil, fmt.Errorf("fsys: not a shard snapshot (magic %q)", h.Magic)
 	}
-	if h.Version != snapshotVersion {
+	if h.Version < 1 || h.Version > snapshotVersion {
+		// Older snapshot versions must keep restoring forever (a drained
+		// node's snapshot may outlive several software upgrades); newer
+		// ones are rejected rather than misread.
 		return nil, fmt.Errorf("fsys: unsupported snapshot version %d", h.Version)
 	}
 	s := NewShard(h.Shard, capacity)

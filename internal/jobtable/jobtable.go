@@ -5,9 +5,11 @@
 // Each server tracks the jobs it has heard from — via heartbeats or via
 // job metadata embedded in I/O requests — and marks a job inactive when no
 // heartbeat arrives for a configurable timeout. Every λ interval the
-// controllers all-gather their tables so that every server converges on
-// the global set of active jobs; a globally unfair token assignment
-// therefore lasts at most λ. Each entry also records the set of servers
+// controllers exchange their tables (an all-gather originally; an
+// epidemic push-pull gossip since internal/cluster) so that every server
+// converges on the global set of active jobs; a globally unfair token
+// assignment therefore lasts a small multiple of λ. Each entry also
+// records the set of servers
 // where the job is I/O-active; a job present on k servers is deweighted by
 // 1/k on each (Figure 5's token-count reconciliation), so that its
 // aggregate share across the cluster matches the policy.

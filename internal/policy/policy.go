@@ -161,6 +161,30 @@ type JobInfo struct {
 // Key returns the identity key of the job.
 func (j JobInfo) Key() string { return j.JobID }
 
+// StageOutUser is the user identity of synthetic background jobs (the
+// drain engine's stage-out traffic). It is an ordinary user as far as
+// policy compilation is concerned: under user-fair it is one more user,
+// under size-fair a Nodes-weighted job — the sharing policy governs
+// background write-back bandwidth exactly like any contending job.
+const StageOutUser = "_system"
+
+// StageOutJob returns the synthetic job identity under which a server's
+// drain engine submits stage-out traffic to the token scheduler. Each
+// server drains under its own job id, so presence deweighting never
+// splits a drain job across servers.
+func StageOutJob(server string) JobInfo {
+	return JobInfo{
+		JobID:   "stage-out@" + server,
+		UserID:  StageOutUser,
+		GroupID: StageOutUser,
+		Nodes:   1,
+	}
+}
+
+// IsStageOut reports whether the job is a drain engine's synthetic
+// background identity (metering and operator tools single these out).
+func (j JobInfo) IsStageOut() bool { return j.UserID == StageOutUser }
+
 // weight returns the job's weight under a terminal level, deweighted by
 // the job's server presence so that multi-server jobs receive a globally
 // (not per-server) fair share.

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"themisio/internal/backing"
 	"themisio/internal/cluster"
 	"themisio/internal/core"
 	"themisio/internal/fsys"
@@ -72,19 +73,45 @@ type Config struct {
 	// FailTimeout confirms a suspect peer failed after this sighting age
 	// (default 6×Lambda).
 	FailTimeout time.Duration
+	// Backing is the stage-out backing store (the PFS behind the burst
+	// buffer). When set, the server re-hydrates its shard from it at
+	// start, drains dirty data back asynchronously — through the token
+	// scheduler, under the sharing policy, as a synthetic background
+	// job — and re-hydrates failed peers' ring segments. Nil disables
+	// durability (the seed behaviour).
+	Backing backing.Store
+	// FlushTimeout bounds a forced full stage-out (default 30s).
+	FlushTimeout time.Duration
 	// Quiet disables logging.
 	Quiet bool
 }
 
 // Server is a live ThemisIO server instance.
 type Server struct {
-	cfg    Config
-	sched  *core.Themis
-	table  *jobtable.Table
-	node   *cluster.Node
-	shard  *fsys.Shard
-	router *fsys.Router
-	start  time.Time
+	cfg     Config
+	sched   *core.Themis
+	table   *jobtable.Table
+	node    *cluster.Node
+	shard   *fsys.Shard
+	router  *fsys.Router
+	drain   *backing.Drainer
+	bootErr error
+	start   time.Time
+
+	// recovering serializes asynchronous failover-recovery passes (the
+	// backing I/O must not stall the controller's λ loop); stageMu
+	// additionally excludes a Flush from overlapping a recovery pass —
+	// recovery harvests dirty ranges outside the drainer's accounting,
+	// so a flush racing it could report durable too early.
+	recovering atomic.Bool
+	stageMu    sync.Mutex
+
+	// gone tracks failure-recovery progress per departed member: how
+	// many λ ticks it has been seen failed (recovery adopts only after
+	// recoverDelayTicks, giving every survivor's pre-stage time to
+	// land), or goneDone once reconciled. Cleared when a member rejoins.
+	goneMu sync.Mutex
+	gone   map[string]int
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -123,6 +150,9 @@ func New(ln net.Listener, cfg Config) *Server {
 	if cfg.FailTimeout <= 0 {
 		cfg.FailTimeout = 6 * cfg.Lambda
 	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 30 * time.Second
+	}
 	addr := ln.Addr().String()
 	shard := fsys.NewShard(addr, cfg.Capacity)
 	table := jobtable.New(addr, cfg.HeartbeatTimeout)
@@ -142,9 +172,30 @@ func New(ln net.Listener, cfg Config) *Server {
 		ln:     ln,
 		wake:   make(chan struct{}, wakeBuffer),
 		conns:  map[*transport.Conn]struct{}{},
+		gone:   map[string]int{},
+	}
+	if cfg.Backing != nil {
+		// Stage-in: restore whatever this server staged out before its
+		// last shutdown or crash (keyed by the listen address). A failed
+		// re-hydration is fatal to Serve: running with a partial shard
+		// would silently diverge from (and then corrupt) the staged
+		// state.
+		n, err := backing.Rehydrate(shard, cfg.Backing, addr)
+		if err != nil {
+			s.bootErr = err
+			return s
+		}
+		if n > 0 && !cfg.Quiet {
+			log.Printf("themisd: rehydrated %d entries from backing store", n)
+		}
+		s.drain = backing.NewDrainer(addr, shard, cfg.Backing)
 	}
 	return s
 }
+
+// BootErr reports a fatal startup condition (a failed backing-store
+// re-hydration); Serve refuses to run while it is non-nil.
+func (s *Server) BootErr() error { return s.bootErr }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -164,8 +215,13 @@ func (s *Server) Table() *jobtable.Table { return s.table }
 // now returns time since server start (the jobtable clock domain).
 func (s *Server) now() time.Duration { return time.Since(s.start) }
 
-// Serve runs the accept loop, workers, and controller until Close.
+// Serve runs the accept loop, workers, and controller until Close. It
+// refuses to serve after a failed boot (see BootErr).
 func (s *Server) Serve() {
+	if s.bootErr != nil {
+		log.Printf("themisd: refusing to serve: %v", s.bootErr)
+		return
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -206,9 +262,13 @@ func (s *Server) Close() {
 
 // Leave announces a graceful departure to the fabric, then stops the
 // server: peers mark this member left immediately instead of waiting
-// out the failure timeout.
+// out the failure timeout. With a backing store configured, the shard
+// is flushed first, so a graceful shutdown never loses bytes.
 func (s *Server) Leave() {
 	if !s.closed.Load() {
+		if err := s.Flush(); err != nil && !s.cfg.Quiet {
+			log.Printf("themisd: stage-out on leave: %v", err)
+		}
 		s.node.Leave(s.now())
 	}
 	s.Close()
@@ -257,6 +317,19 @@ func (s *Server) handleConn(c *transport.Conn) {
 		case transport.MsgGossip, transport.MsgJoin, transport.MsgLeave,
 			transport.MsgClusterStatus, transport.MsgDrain:
 			resp := s.node.Handle(req, s.now())
+			if err := c.SendResponse(resp); err != nil {
+				return
+			}
+			continue
+		case transport.MsgFlush:
+			// Forced full stage-out. Runs on this connection's goroutine:
+			// the drain chunks themselves go through the scheduler (the
+			// policy still arbitrates them); only the completeness wait
+			// blocks here.
+			resp := &transport.Response{Seq: req.Seq}
+			if err := s.Flush(); err != nil {
+				resp.Err = err.Error()
+			}
 			if err := c.SendResponse(resp); err != nil {
 				return
 			}
@@ -343,14 +416,22 @@ func (s *Server) worker() {
 			continue
 		}
 		for _, r := range batch[:n] {
-			p := r.Tag.(*pending)
 			if s.cfg.OpDelay > 0 {
 				time.Sleep(s.cfg.OpDelay)
 			}
-			resp := s.execute(p.req)
-			s.served.Add(1)
-			if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
-				log.Printf("themisd: reply: %v", err)
+			switch p := r.Tag.(type) {
+			case *pending:
+				resp := s.execute(p.req)
+				s.served.Add(1)
+				if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
+					log.Printf("themisd: reply: %v", err)
+				}
+			case *backing.Task:
+				// A stage-out chunk the token draw selected: the sharing
+				// policy has already arbitrated it against foreground I/O.
+				if err := p.Run(); err != nil && !s.cfg.Quiet {
+					log.Printf("themisd: stage-out: %v", err)
+				}
 			}
 		}
 	}
@@ -450,9 +531,139 @@ func (s *Server) controller() {
 			}
 		}
 		s.node.Gossip(s.now())
+		if s.drain != nil {
+			if n := s.drain.Pump(s.now(), s.pushDrain); n > 0 {
+				s.wakeN(n)
+			}
+			s.recoverFailed()
+		}
 		if g := s.table.Refresh(s.now()); g != lastGen {
 			lastGen = g
 			s.sched.SetJobs(s.table.ActiveSnapshot().Jobs)
 		}
+	}
+}
+
+// pushDrain enqueues one stage-out request: same path as a foreground
+// request (job-table sighting + scheduler push), so the controller
+// compiles a share for the stage-out job and the token draw arbitrates
+// it like any other contender.
+func (s *Server) pushDrain(r *sched.Request) {
+	s.table.Observe(r.Job, s.now())
+	s.sched.Push(r)
+}
+
+// wakeN deposits up to n wake tokens for the workers.
+func (s *Server) wakeN(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// Flush forces a full stage-out: every dirty byte, changed directory,
+// and pending unlink reaches the backing store before it returns. The
+// themisctl `flush` command and graceful shutdown both land here. A
+// concurrent recovery pass completes first (stageMu), so the durability
+// barrier also covers bytes recovery harvested outside the drainer.
+func (s *Server) Flush() error {
+	if s.drain == nil {
+		return nil
+	}
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return s.drain.Flush(s.now, s.pushDrain, s.wakeN, s.cfg.FlushTimeout)
+}
+
+// Drainer exposes the stage-out engine for inspection (nil without a
+// backing store).
+func (s *Server) Drainer() *backing.Drainer { return s.drain }
+
+// goneDone marks a departed member fully reconciled; recoverDelayTicks
+// is how many λ ticks a failure must age before adoption, so every
+// survivor's first-sighting pre-stage (phase one) can land first.
+const (
+	goneDone          = -1
+	recoverDelayTicks = 3
+)
+
+// recoverFailed is the two-phase failover reconciliation, run every λ.
+// Phase one, at first sighting of a departed member: synchronously
+// stage this shard's un-staged bytes of every affected file, so no
+// survivor's acknowledged writes are missing when an adopter
+// reassembles. Phase two, recoverDelayTicks later: the new ring owner
+// of each affected path adopts the reassembled file and stale local
+// stripes are dropped. A member is marked reconciled only when its
+// phase-two pass succeeds (errors retry next λ), and the mark clears if
+// the member rejoins, so its next failure recovers again.
+//
+// The pass runs on its own goroutine — recovery does real backing-store
+// I/O and must not stall the controller's gossip/λ loop — with at most
+// one pass in flight; a tick that finds one running changes nothing, so
+// no phase is skipped.
+func (s *Server) recoverFailed() {
+	if s.recovering.Swap(true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.recovering.Store(false)
+		s.stageMu.Lock()
+		defer s.stageMu.Unlock()
+		s.recoverPass()
+	}()
+}
+
+// recoverPass is one reconciliation pass (see recoverFailed).
+func (s *Server) recoverPass() {
+	var dead []string
+	for _, m := range s.node.Membership().Snapshot() {
+		if m.State != cluster.StateFailed && m.State != cluster.StateLeft {
+			s.goneMu.Lock()
+			delete(s.gone, m.Addr)
+			s.goneMu.Unlock()
+			continue
+		}
+		s.goneMu.Lock()
+		ticks := s.gone[m.Addr]
+		if ticks != goneDone {
+			ticks++
+			s.gone[m.Addr] = ticks
+		}
+		s.goneMu.Unlock()
+		switch {
+		case ticks == goneDone:
+		case ticks == 1:
+			if err := backing.StageAffected(s.shard, s.cfg.Backing, s.Addr(), []string{m.Addr}); err != nil && !s.cfg.Quiet {
+				log.Printf("themisd: pre-staging for %s: %v", m.Addr, err)
+			}
+		case ticks >= recoverDelayTicks:
+			dead = append(dead, m.Addr)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	ring := s.node.Membership().Ring()
+	adopted, dropped, err := backing.RecoverSegment(s.shard, s.cfg.Backing, s.Addr(), dead,
+		func(path string) (string, bool) { return ring.Lookup(path) })
+	if err != nil {
+		if !s.cfg.Quiet {
+			log.Printf("themisd: recovery after %v: %v (will retry)", dead, err)
+		}
+		return
+	}
+	s.goneMu.Lock()
+	for _, a := range dead {
+		s.gone[a] = goneDone
+	}
+	s.goneMu.Unlock()
+	if (adopted > 0 || dropped > 0) && !s.cfg.Quiet {
+		log.Printf("themisd: recovered ring segment of %v: adopted %d files, dropped %d stale stripes",
+			dead, adopted, dropped)
 	}
 }

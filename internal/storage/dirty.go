@@ -1,0 +1,102 @@
+package storage
+
+import "sync"
+
+// RangeSet tracks dirty byte ranges of one file — the write-back
+// bookkeeping the paper's conclusion asks for ("persistent data structure
+// strategy to enable fault tolerance"). Every write marks its range;
+// the drain engine takes coalesced spans off the set and stages them out
+// to the backing store. Ranges are file-offset addressed (not device
+// extents), so the set survives the extent compaction a snapshot/restore
+// cycle performs.
+//
+// The set keeps ranges sorted, non-overlapping, and coalesced, so its
+// size is bounded by the number of disjoint dirty regions — for the
+// append-structured burst-buffer write pattern, typically one.
+type RangeSet struct {
+	mu     sync.Mutex
+	spans  []Extent // sorted by Off, coalesced
+	marked int64    // total dirty bytes
+}
+
+// NewRangeSet returns an empty dirty-range set.
+func NewRangeSet() *RangeSet { return &RangeSet{} }
+
+// Mark records [off, off+n) as dirty, merging with adjacent or
+// overlapping spans. Non-positive n is a no-op.
+func (rs *RangeSet) Mark(off, n int64) {
+	if n <= 0 || off < 0 {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	e := Extent{Off: off, Len: n}
+	// Find the first span that could merge with e (ends at or after
+	// e.Off), absorb every span e touches, then insert.
+	i := 0
+	for i < len(rs.spans) && rs.spans[i].End() < e.Off {
+		i++
+	}
+	j := i
+	for j < len(rs.spans) && rs.spans[j].Off <= e.End() {
+		if rs.spans[j].Off < e.Off {
+			e.Len += e.Off - rs.spans[j].Off
+			e.Off = rs.spans[j].Off
+		}
+		if rs.spans[j].End() > e.End() {
+			e.Len = rs.spans[j].End() - e.Off
+		}
+		rs.marked -= rs.spans[j].Len
+		j++
+	}
+	rs.spans = append(rs.spans[:i], append([]Extent{e}, rs.spans[j:]...)...)
+	rs.marked += e.Len
+}
+
+// Take removes and returns up to max dirty bytes of coalesced spans, in
+// offset order. max <= 0 takes everything. The caller owns staging the
+// returned ranges; on failure it re-Marks them.
+func (rs *RangeSet) Take(max int64) []Extent {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.spans) == 0 {
+		return nil
+	}
+	var out []Extent
+	var taken int64
+	for len(rs.spans) > 0 {
+		s := rs.spans[0]
+		if max > 0 && taken+s.Len > max {
+			cut := max - taken
+			if cut <= 0 {
+				break
+			}
+			out = append(out, Extent{Off: s.Off, Len: cut})
+			rs.spans[0] = Extent{Off: s.Off + cut, Len: s.Len - cut}
+			rs.marked -= cut
+			return out
+		}
+		out = append(out, s)
+		taken += s.Len
+		rs.marked -= s.Len
+		rs.spans = rs.spans[1:]
+	}
+	return out
+}
+
+// Bytes returns the total dirty byte count.
+func (rs *RangeSet) Bytes() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.marked
+}
+
+// Empty reports whether no range is dirty.
+func (rs *RangeSet) Empty() bool { return rs.Bytes() == 0 }
+
+// Spans returns a copy of the dirty spans (for tests and inspection).
+func (rs *RangeSet) Spans() []Extent {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]Extent(nil), rs.spans...)
+}

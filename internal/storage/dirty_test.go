@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRangeSetMarkCoalesces(t *testing.T) {
+	rs := NewRangeSet()
+	rs.Mark(0, 10)
+	rs.Mark(20, 10)
+	rs.Mark(10, 10) // bridges the gap
+	spans := rs.Spans()
+	if len(spans) != 1 || spans[0] != (Extent{Off: 0, Len: 30}) {
+		t.Fatalf("spans = %v, want one [0,30)", spans)
+	}
+	if rs.Bytes() != 30 {
+		t.Fatalf("bytes = %d", rs.Bytes())
+	}
+	// Overlap and containment.
+	rs.Mark(5, 10)
+	if got := rs.Spans(); len(got) != 1 || got[0].Len != 30 {
+		t.Fatalf("overlap re-mark changed spans: %v", got)
+	}
+	rs.Mark(25, 20)
+	if got := rs.Spans(); len(got) != 1 || got[0] != (Extent{Off: 0, Len: 45}) {
+		t.Fatalf("extending mark: %v", got)
+	}
+}
+
+func TestRangeSetTakeBudget(t *testing.T) {
+	rs := NewRangeSet()
+	rs.Mark(0, 100)
+	rs.Mark(200, 100)
+	got := rs.Take(150)
+	if len(got) != 2 || got[0] != (Extent{0, 100}) || got[1] != (Extent{200, 50}) {
+		t.Fatalf("take(150) = %v", got)
+	}
+	if rs.Bytes() != 50 {
+		t.Fatalf("remaining = %d", rs.Bytes())
+	}
+	rest := rs.Take(0) // take all
+	if len(rest) != 1 || rest[0] != (Extent{250, 50}) {
+		t.Fatalf("take rest = %v", rest)
+	}
+	if !rs.Empty() {
+		t.Fatal("not empty after full take")
+	}
+}
+
+// Property-ish: random marks always yield sorted, disjoint, coalesced
+// spans whose total equals the union of marked bytes.
+func TestRangeSetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rs := NewRangeSet()
+		ref := map[int64]bool{}
+		for i := 0; i < 40; i++ {
+			off := int64(rng.Intn(500))
+			n := int64(rng.Intn(60) + 1)
+			rs.Mark(off, n)
+			for b := off; b < off+n; b++ {
+				ref[b] = true
+			}
+		}
+		spans := rs.Spans()
+		var total int64
+		for i, s := range spans {
+			total += s.Len
+			if i > 0 && spans[i-1].End() >= s.Off {
+				t.Fatalf("trial %d: spans not disjoint/coalesced: %v", trial, spans)
+			}
+			for b := s.Off; b < s.End(); b++ {
+				if !ref[b] {
+					t.Fatalf("trial %d: byte %d marked but never written", trial, b)
+				}
+			}
+		}
+		if total != int64(len(ref)) {
+			t.Fatalf("trial %d: %d bytes tracked, want %d", trial, total, len(ref))
+		}
+	}
+}

@@ -173,12 +173,16 @@ func (ix *Index) Size() int64 {
 }
 
 // Append registers a new extent covering file bytes
-// [Size(), Size()+ext.Len).
-func (ix *Index) Append(ext Extent) {
+// [Size(), Size()+ext.Len) and returns the file offset the extent was
+// assigned (callers use it to mark the exact range dirty even when
+// appends race).
+func (ix *Index) Append(ext Extent) int64 {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.runs = append(ix.runs, mapping{FileOff: ix.size, Ext: ext})
+	off := ix.size
+	ix.runs = append(ix.runs, mapping{FileOff: off, Ext: ext})
 	ix.size += ext.Len
+	return off
 }
 
 // Runs returns the number of extents in the index.

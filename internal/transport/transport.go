@@ -65,13 +65,19 @@ const (
 	MsgLeave         // graceful departure notice
 	MsgClusterStatus // operator query: membership + ring epoch
 	MsgDrain         // operator request: mark the receiving server draining
+
+	// MsgFlush forces a full stage-out: the receiving server drains
+	// every dirty byte to its backing store before replying. The drain
+	// traffic itself still goes through the token scheduler under the
+	// stage-out job — a flush forces completeness, not priority.
+	MsgFlush
 )
 
 // String names the message type.
 func (m MsgType) String() string {
 	names := []string{"open", "create", "read", "write", "close", "stat",
 		"mkdir", "readdir", "unlink", "heartbeat", "bye", "sync",
-		"gossip", "join", "leave", "cluster-status", "drain"}
+		"gossip", "join", "leave", "cluster-status", "drain", "flush"}
 	if int(m) < len(names) {
 		return names[m]
 	}

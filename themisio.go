@@ -3,6 +3,7 @@ package themisio
 import (
 	"net"
 
+	"themisio/internal/backing"
 	"themisio/internal/bb"
 	"themisio/internal/client"
 	"themisio/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"themisio/internal/policy"
 	"themisio/internal/sched"
 	"themisio/internal/server"
+	"themisio/internal/workload"
 )
 
 // Re-exported core types: the public API is a thin veneer over the
@@ -42,6 +44,13 @@ type (
 	Member = cluster.Member
 	// ClusterNode is a server's fabric endpoint (membership + gossip).
 	ClusterNode = cluster.Node
+	// BackingStore is the stage-out backing store behind the burst
+	// buffer (stage-in at start, asynchronous dirty write-back,
+	// failover re-hydration).
+	BackingStore = backing.Store
+	// ClusterProc is one simulated client process (a closed-loop request
+	// stream against the simulated cluster).
+	ClusterProc = bb.Proc
 )
 
 // Predefined policies in the paper's notation.
@@ -78,6 +87,17 @@ func DialStriped(job JobInfo, servers []string, opts ClientOptions) (*Client, er
 
 // NewCluster builds a simulated burst-buffer cluster.
 func NewCluster(cfg ClusterConfig) *Cluster { return bb.NewCluster(cfg) }
+
+// OpenBackingDir opens (creating if needed) a local-directory backing
+// store — the stand-in for the parallel file system behind the burst
+// buffer. Pass it in ServerConfig.Backing for stage-out durability.
+func OpenBackingDir(dir string) (BackingStore, error) { return backing.OpenDir(dir) }
+
+// WriteStream returns an endless write workload in blockBytes transfers
+// — the simplest stream to feed a simulated process.
+func WriteStream(blockBytes int64) workload.Stream {
+	return workload.IORLoop(sched.OpWrite, blockBytes)
+}
 
 // Shares compiles a policy over a job set and returns each job's token
 // share — the quickest way to inspect what a policy means.
