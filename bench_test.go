@@ -148,6 +148,19 @@ func BenchmarkStageOutSharing(b *testing.B) {
 	}
 }
 
+// BenchmarkRebalanceSharing measures join-time stripe migration's
+// bandwidth share against a foreground job under two policies; like
+// drain traffic, the measured share must track the compiled token
+// share (EXPERIMENTS.md records the numbers).
+func BenchmarkRebalanceSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Rebalance()
+		reportMetrics(b, res,
+			"sizefair_fg_gbps", "sizefair_migration_gbps",
+			"sizefair_migration_share", "jobfair_migration_share")
+	}
+}
+
 // --- micro-benchmarks of the contribution's hot paths -------------------
 
 func makeJobs(n int) []policy.JobInfo {

@@ -13,13 +13,16 @@
 //	themisctl -servers 127.0.0.1:7000 rm /data/x
 //	themisctl -servers 127.0.0.1:7000 cluster status
 //	themisctl -servers 127.0.0.1:7001 cluster drain
+//	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 rebalance status
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 flush
 //
 // `cluster status` prints the membership table as seen by the first
 // server; `cluster drain` asks that server to stop owning ring segments
-// ahead of a graceful shutdown; `flush` forces every listed server to
-// stage all dirty data out to its backing store before returning (the
-// durability barrier to run before maintenance).
+// ahead of a graceful shutdown; `rebalance status` prints each listed
+// server's stripe-migration progress after a member joins; `flush`
+// forces every listed server to stage all dirty data out to its
+// backing store before returning (the durability barrier to run before
+// maintenance).
 package main
 
 import (
@@ -61,7 +64,7 @@ func main() {
 	}
 	if len(args) < 2 {
 		fmt.Fprintln(os.Stderr,
-			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | flush")
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | flush")
 		os.Exit(2)
 	}
 	cmd, path := args[0], args[1]
@@ -69,6 +72,17 @@ func main() {
 	if cmd == "cluster" {
 		if err := clusterCmd(addrs[0], path); err != nil {
 			log.Fatalf("themisctl: cluster %s: %v", path, err)
+		}
+		return
+	}
+	if cmd == "rebalance" {
+		if path != "status" {
+			log.Fatalf("themisctl: rebalance: unknown subcommand %q (want status)", path)
+		}
+		for _, addr := range addrs {
+			if err := rebalanceStatusCmd(addr); err != nil {
+				log.Fatalf("themisctl: rebalance status %s: %v", addr, err)
+			}
 		}
 		return
 	}
@@ -166,6 +180,22 @@ func controlExchange(addr string, typ transport.MsgType) (*transport.Response, e
 func flushCmd(addr string) error {
 	_, err := controlExchange(addr, transport.MsgFlush)
 	return err
+}
+
+// rebalanceStatusCmd prints one server's stripe-migration progress:
+// lifetime files/bytes moved, error and pending counts, and the ring
+// epoch the server's layouts were last reconciled against (compare
+// with `cluster status`'s epoch — equal means settled).
+func rebalanceStatusCmd(addr string) error {
+	resp, err := controlExchange(addr, transport.MsgRebalanceStatus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\treconciled-epoch %d\n", addr, resp.Epoch)
+	for _, line := range resp.Names {
+		fmt.Printf("%s\t%s\n", addr, line)
+	}
+	return nil
 }
 
 // clusterCmd talks the fabric control protocol directly to one server.

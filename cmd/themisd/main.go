@@ -24,6 +24,12 @@
 // stage-out job — re-hydrates its shard from it on start, and adopts a
 // failed peer's files from it during failover. A graceful shutdown
 // flushes before leaving. See docs/OPERATIONS.md.
+//
+// When a member joins, existing file layouts are migrated onto the
+// grown ring (-rebalance, on by default): migration traffic runs as a
+// synthetic rebalance job through the token scheduler, so the sharing
+// policy caps it against foreground I/O. Watch progress with
+// `themisctl rebalance status`.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	join := flag.String("join", "", "comma-separated addresses of existing cluster members")
 	fanout := flag.Int("gossip-fanout", 0, "random peers gossiped with per λ round (0 = default)")
 	backingDir := flag.String("backing", "", "backing-store directory for stage-out durability (empty = volatile)")
+	rebalance := flag.Bool("rebalance", true, "migrate existing stripes onto joining members (policy-governed)")
 	flag.Parse()
 
 	pol, err := policy.Parse(*polStr)
@@ -67,11 +74,12 @@ func main() {
 		seeds = append(seeds, strings.Split(*peers, ",")...)
 	}
 	cfg := server.Config{
-		Policy:       pol,
-		Workers:      *workers,
-		Capacity:     *capacity,
-		Join:         seeds,
-		GossipFanout: *fanout,
+		Policy:            pol,
+		Workers:           *workers,
+		Capacity:          *capacity,
+		Join:              seeds,
+		GossipFanout:      *fanout,
+		RebalanceDisabled: !*rebalance,
 	}
 	if *backingDir != "" {
 		store, err := backing.OpenDir(*backingDir)

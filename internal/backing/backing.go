@@ -53,6 +53,10 @@ type FileMeta struct {
 	Stripes    int      `json:"stripes,omitempty"`
 	StripeUnit int64    `json:"stripe_unit,omitempty"`
 	StripeSet  []string `json:"stripe_set,omitempty"`
+	// LayoutGen is the layout generation recorded with the stripes (so
+	// failover adoption can install a generation newer than any client
+	// cached before the failure).
+	LayoutGen uint64 `json:"layout_gen,omitempty"`
 	// Size is the object's content length in bytes (the local stripe
 	// size, not the global file size).
 	Size int64 `json:"size"`
@@ -381,13 +385,31 @@ func reassembleRows(store Store, path string, stripes int, unit int64, rowOwner 
 		}
 		parts[i] = data
 	}
-	cursors := make([]int64, stripes)
+	return Interleave(parts, unit), nil
+}
+
+// Interleave stitches per-stripe local contents back into the global
+// byte stream of a round-robin layout: global unit u lives on stripe
+// u mod len(parts). It stops at the first exhausted stripe that was
+// expected to contribute a full unit — the longest prefix every stripe
+// agrees on — so a straggling stripe can truncate but never corrupt.
+// Join-time rebalancing shares this with failover reassembly: both
+// rebuild a file from its stripes, one from live servers, one from
+// staged objects.
+func Interleave(parts [][]byte, unit int64) []byte {
+	if len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	cursors := make([]int64, len(parts))
 	var out []byte
 	for u := int64(0); ; u++ {
-		i := int(u % int64(stripes))
+		i := int(u % int64(len(parts)))
 		avail := int64(len(parts[i])) - cursors[i]
 		if avail <= 0 {
-			return out, nil
+			return out
 		}
 		take := unit
 		if take > avail {
@@ -397,7 +419,7 @@ func reassembleRows(store Store, path string, stripes int, unit int64, rowOwner 
 		cursors[i] += take
 		if take < unit {
 			// A partial unit is the file's tail.
-			return out, nil
+			return out
 		}
 	}
 }

@@ -93,6 +93,7 @@ func (t *Task) Run() error {
 		IsDir: c.IsDir, Children: c.Children,
 		Stripe: c.Stripe, Stripes: c.Stripes,
 		StripeUnit: c.Unit, StripeSet: c.Set,
+		LayoutGen: c.LayoutGen,
 	}
 	if err := d.store.WriteRange(meta, c.Off, c.Data); err != nil {
 		d.errs.Add(1)

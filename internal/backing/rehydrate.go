@@ -43,7 +43,7 @@ func Rehydrate(shard *fsys.Shard, store Store, self string) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("backing: rehydrating %s: %w", m.Path, err)
 		}
-		if err := shard.RestoreFile(m.Path, data, m.Stripes, m.StripeUnit, m.StripeSet); err != nil {
+		if err := shard.RestoreFile(m.Path, data, m.Stripes, m.StripeUnit, m.StripeSet, m.LayoutGen); err != nil {
 			return n, fmt.Errorf("backing: rehydrating %s: %w", m.Path, err)
 		}
 		n++
@@ -72,6 +72,7 @@ func stageLocal(shard *fsys.Shard, store Store, self, p string) error {
 			Owner: self, Path: c.Path,
 			Stripe: c.Stripe, Stripes: c.Stripes,
 			StripeUnit: c.Unit, StripeSet: c.Set,
+			LayoutGen: c.LayoutGen,
 		}
 		if err := store.WriteRange(meta, c.Off, c.Data); err != nil {
 			shard.MarkDirty(c.Path, c.Off, int64(len(c.Data)))
@@ -156,6 +157,7 @@ func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, 
 	type layout struct {
 		stripes int
 		unit    int64
+		gen     uint64 // highest staged layout generation for the path
 	}
 	adopt := map[string]*layout{}
 	for _, m := range manifest {
@@ -186,6 +188,9 @@ func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, 
 		if m.StripeUnit > 0 {
 			l.unit = m.StripeUnit
 		}
+		if m.LayoutGen > l.gen {
+			l.gen = m.LayoutGen
+		}
 	}
 	for _, a := range dead {
 		for _, p := range shard.FilesWithServer(a) {
@@ -199,7 +204,7 @@ func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, 
 			if serr != nil {
 				continue
 			}
-			adopt[p] = &layout{stripes: fi.Stripes, unit: fi.StripeUnit}
+			adopt[p] = &layout{stripes: fi.Stripes, unit: fi.StripeUnit, gen: fi.LayoutGen}
 		}
 	}
 	if len(adopt) == 0 {
@@ -245,7 +250,15 @@ func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, 
 			}
 			continue
 		}
-		if rerr := shard.RestoreFile(path, full, 1, l.unit, []string{self}); rerr != nil {
+		// The adopted layout's generation supersedes every staged one, so
+		// a client still holding the pre-failure layout is detectably
+		// stale instead of passing the generation check against the
+		// adopter's rewritten geometry.
+		newGen := l.gen + 1
+		if newGen < 2 {
+			newGen = 2
+		}
+		if rerr := shard.RestoreFile(path, full, 1, l.unit, []string{self}, newGen); rerr != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("backing: adopting %s: %w", path, rerr)
 			}
@@ -266,6 +279,7 @@ func RecoverSegment(shard *fsys.Shard, store Store, self string, dead []string, 
 		meta := FileMeta{
 			Owner: self, Path: path, Stripe: 0, Stripes: 1,
 			StripeUnit: l.unit, StripeSet: []string{self},
+			LayoutGen: newGen,
 		}
 		if werr := store.WriteRange(meta, 0, full); werr != nil {
 			if firstErr == nil {

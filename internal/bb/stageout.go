@@ -42,3 +42,29 @@ func (c *Cluster) AddStageOut(i int, chunkBytes int64, depth int, start, stop ti
 		Stop:       stop,
 	})
 }
+
+// RebalanceJobID returns the simulated server i's rebalance job id
+// (what the live migration coordinator would use for server "bb<i>").
+func RebalanceJobID(i int) string {
+	return policy.RebalanceJob(fmt.Sprintf("bb%d", i)).JobID
+}
+
+// AddRebalance registers a join-time rebalance on server i: the
+// simulator's model of the live migration coordinator, a closed-loop
+// background writer of chunk-sized stripe installs under the rebalance
+// job identity — which is exactly what a server absorbing migrated
+// stripes looks like to the scheduler. Meter the job under
+// RebalanceJobID(i).
+func (c *Cluster) AddRebalance(i int, chunkBytes int64, depth int, start, stop time.Duration) *ProcHandle {
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	return c.AddProc(Proc{
+		Job:        policy.RebalanceJob(fmt.Sprintf("bb%d", i)),
+		Stream:     workload.IORLoop(sched.OpWrite, chunkBytes),
+		Targets:    []int{i},
+		QueueDepth: depth,
+		Start:      start,
+		Stop:       stop,
+	})
+}

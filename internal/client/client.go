@@ -17,6 +17,7 @@
 package client
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"sort"
@@ -26,6 +27,7 @@ import (
 
 	"themisio/internal/chash"
 	"themisio/internal/cluster"
+	"themisio/internal/fsys"
 	"themisio/internal/policy"
 	"themisio/internal/transport"
 )
@@ -58,9 +60,19 @@ type Client struct {
 	mu       sync.Mutex
 	conns    map[string]*serverConn
 	draining map[string]bool // members to avoid for new placement
-	fds      map[int]*fileHandle
-	next     int
-	seq      atomic.Uint64
+	// unreachable remembers when a dial or call to a member last
+	// failed: recorded stripe sets keep naming dead members, and
+	// re-dialing one (2s timeout) on every stat would stall the client.
+	// ensureConn fast-fails inside the cooldown; a member that comes
+	// back (restart, rejoin) is re-dialed after it.
+	unreachable map[string]time.Time
+	fds         map[int]*fileHandle
+	next        int
+	seq         atomic.Uint64
+	// closed stops ensureConn from registering new connections after
+	// Close — the membership refresh dials joiners asynchronously, and
+	// a dial completing after teardown would leak its socket.
+	closed atomic.Bool
 
 	hbStop chan struct{}
 	hbDone chan struct{}
@@ -76,6 +88,11 @@ type fileHandle struct {
 	stripes int      // the file's stripe width (from metadata, not config)
 	unit    int64    // the file's stripe unit (from metadata, not config)
 	set     []string // the file's recorded stripe servers, in order
+	// layoutGen is the layout generation the cached set was read under;
+	// every read and write echoes it, so a server that rebalanced the
+	// file answers stale-layout instead of serving re-striped bytes, and
+	// the handle re-stats and retries (see refreshHandle).
+	layoutGen uint64
 	// damaged marks a handle whose striped write could not be completed
 	// or repaired; further writes would interleave wrongly, so they are
 	// refused instead of silently corrupting the file.
@@ -175,15 +192,16 @@ func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, erro
 		opts.StripeUnit = DefaultStripeUnit
 	}
 	c := &Client{
-		job:      job,
-		ring:     chash.New(0),
-		opts:     opts,
-		conns:    map[string]*serverConn{},
-		draining: map[string]bool{},
-		fds:      map[int]*fileHandle{},
-		next:     3, // fds 0-2 are taken, as in POSIX
-		hbStop:   make(chan struct{}),
-		hbDone:   make(chan struct{}),
+		job:         job,
+		ring:        chash.New(0),
+		opts:        opts,
+		conns:       map[string]*serverConn{},
+		draining:    map[string]bool{},
+		unreachable: map[string]time.Time{},
+		fds:         map[int]*fileHandle{},
+		next:        3, // fds 0-2 are taken, as in POSIX
+		hbStop:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
 	}
 	for _, addr := range servers {
 		sc, err := dialServer(addr, opts.LegacyGob)
@@ -209,6 +227,7 @@ func (c *Client) closeConns() {
 // client exits, it notifies the ThemisIO servers to destroy the
 // corresponding mapping entry").
 func (c *Client) Close() {
+	c.closed.Store(true)
 	close(c.hbStop)
 	<-c.hbDone
 	// Copy under the lock, send after: a goodbye to a wedged server
@@ -275,10 +294,73 @@ func (c *Client) refreshMembership() {
 			c.mu.Unlock()
 		case cluster.StateAlive:
 			c.mu.Lock()
+			_, have := c.conns[m.Addr]
 			delete(c.draining, m.Addr)
 			c.mu.Unlock()
+			// A member this client has never dialed is a scale-out join:
+			// connect and extend the placement ring, so new files spread
+			// onto the added capacity and migrated layouts that name the
+			// new member stay reachable. The dial runs off this loop — a
+			// member the fabric gossips alive but this client cannot
+			// reach (asymmetric partition) must not stall the heartbeat
+			// cadence for the healthy servers; ensureConn's cooldown
+			// keeps the retries bounded.
+			if !have {
+				go func(addr string) { _, _ = c.ensureConn(addr) }(m.Addr)
+			}
 		}
 	}
+}
+
+// dialCooldown is how long ensureConn fast-fails an address after a
+// failed dial or a failed-over connection, so a dead member named in
+// recorded stripe sets cannot stall every stat behind a dial timeout.
+const dialCooldown = 3 * time.Second
+
+// ensureConn returns the live connection for addr, dialing it on first
+// use — recorded stripe sets and the membership view may name servers
+// this client was never configured with (members that joined after the
+// client dialed in). Recently unreachable members fail fast.
+func (c *Client) ensureConn(addr string) (*serverConn, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("client: closed")
+	}
+	c.mu.Lock()
+	sc, ok := c.conns[addr]
+	if ok {
+		c.mu.Unlock()
+		return sc, nil
+	}
+	if t, bad := c.unreachable[addr]; bad && time.Since(t) < dialCooldown {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: %s recently unreachable", addr)
+	}
+	c.mu.Unlock()
+	sc, err := dialServer(addr, c.opts.LegacyGob)
+	if err != nil {
+		c.mu.Lock()
+		c.unreachable[addr] = time.Now()
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: no live connection to %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	delete(c.unreachable, addr)
+	if exist, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		sc.conn.Close()
+		return exist, nil
+	}
+	if c.closed.Load() {
+		// Close ran while we dialed; registering now would leak the
+		// socket past teardown.
+		c.mu.Unlock()
+		sc.conn.Close()
+		return nil, fmt.Errorf("client: closed")
+	}
+	c.conns[addr] = sc
+	c.mu.Unlock()
+	c.ring.Add(addr)
+	return sc, nil
 }
 
 func (c *Client) heartbeatAll() {
@@ -308,22 +390,12 @@ func (c *Client) markFailed(addr string) {
 	if ok {
 		delete(c.conns, addr)
 	}
+	c.unreachable[addr] = time.Now()
 	c.mu.Unlock()
 	if ok {
 		sc.conn.Close()
 		c.ring.Remove(addr)
 	}
-}
-
-// connFor returns the live connection for addr.
-func (c *Client) connFor(addr string) (*serverConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sc, ok := c.conns[addr]
-	if !ok {
-		return nil, fmt.Errorf("client: no live connection to %s", addr)
-	}
-	return sc, nil
 }
 
 // stripeSet returns the addresses holding a width-stripes file's data,
@@ -360,10 +432,10 @@ func (c *Client) createSet(path string) []string {
 	return out
 }
 
-// callAddr sends one request to one server, failing the server over on
-// a transport-level error.
+// callAddr sends one request to one server — dialing it on first use —
+// failing the server over on a transport-level error.
 func (c *Client) callAddr(addr, path string, req *transport.Request) (*transport.Response, error) {
-	sc, err := c.connFor(addr)
+	sc, err := c.ensureConn(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -469,6 +541,7 @@ func (c *Client) Open(path string, create bool) (int, error) {
 	c.fds[fd] = &fileHandle{
 		path: path, size: size,
 		stripes: layout.stripes, unit: layout.unit, set: layout.set,
+		layoutGen: layout.gen,
 	}
 	return fd, nil
 }
@@ -489,6 +562,18 @@ func (c *Client) handle(fd int) (*fileHandle, error) {
 // round-robin over the stripe set; each server's chunks are contiguous
 // in its local stripe, so the whole write is at most one parallel
 // request per stripe server.
+//
+// A stale-layout answer means join-time rebalancing is moving (or has
+// moved) the file under the handle: the migration seal guarantees that
+// either nothing or a contiguous prefix of this write survived the
+// cutover, so the handle re-stats, measures the surviving prefix from
+// the fresh global size, and appends the remainder under the rewritten
+// layout. While the file is still sealed — the copy phase, before any
+// cutover — the re-stat returns the old layout and the retry is
+// refused again, so the write keeps retrying until the cutover lands
+// or writeRetryTimeout passes; on giving up it reports how much of p
+// is durably in the file (the handle's size already accounts for it),
+// so a POSIX-style short-write retry of the remainder is correct.
 func (c *Client) Write(fd int, p []byte) (int, error) {
 	h, err := c.handle(fd)
 	if err != nil {
@@ -497,12 +582,77 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 	if h.damaged {
 		return 0, fmt.Errorf("client: %s: earlier striped write failed mid-stripe; reopen after repair", h.path)
 	}
+	err = c.writeOnce(h, p)
+	if err == nil {
+		return len(p), nil
+	}
+	if !retryableLayout(err) {
+		return 0, err
+	}
+	prev := h.size
+	deadline := time.Now().Add(writeRetryTimeout)
+	for {
+		if rerr := c.refreshHandle(h); rerr != nil {
+			return 0, fmt.Errorf("client: %s: layout changed and re-stat failed: %w", h.path, rerr)
+		}
+		landed := h.size - prev
+		if landed < 0 && !time.Now().After(deadline) {
+			// A degraded stat during a stalled partial cutover can
+			// under-report the size (an uncommitted target's bytes sit
+			// in its invisible pending buffer); that heals when the
+			// cutover lands, so keep re-statting instead of condemning
+			// the handle.
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if landed < 0 || landed > int64(len(p)) {
+			// The size moved by more than this write — another writer
+			// raced the handle, which the offset bookkeeping cannot
+			// survive (true before this change too).
+			h.damaged = true
+			return 0, fmt.Errorf("client: %s: size moved by %d during layout change; reopen", h.path, landed)
+		}
+		if landed == int64(len(p)) {
+			h.off = h.size
+			return len(p), nil
+		}
+		err = c.writeOnce(h, p[landed:])
+		if err == nil {
+			return len(p), nil
+		}
+		if !retryableLayout(err) || time.Now().After(deadline) {
+			return int(landed), err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// retryableLayout matches the transient conditions of a mid-migration
+// file: the typed stale-layout answer, and a not-exist from a server
+// the layout names — a commit that has not landed yet keeps the new
+// stripe in an invisible pending buffer, so the entry appears briefly
+// absent on that holder. A handle is only operated on after a
+// successful open, so not-exist mid-operation is a routing transient
+// (or a genuine unlink, which surfaces once the retry budget passes).
+func retryableLayout(err error) bool {
+	return transport.IsStaleLayout(err) || transport.IsNotExist(err)
+}
+
+// writeRetryTimeout bounds how long a write blocks waiting for a
+// mid-migration file's cutover (the copy phase is policy-throttled, so
+// a large file under a small compiled share can hold its seal a
+// while).
+const writeRetryTimeout = 10 * time.Second
+
+// writeOnce performs one striped append attempt at the handle's
+// current layout, advancing the handle bookkeeping on success.
+func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 	set := h.set
 	if len(set) == 0 {
 		set = c.stripeSet(h.path, h.stripes)
 	}
 	if len(set) == 0 {
-		return 0, fmt.Errorf("client: no servers left")
+		return fmt.Errorf("client: no servers left")
 	}
 	unit := h.unit
 	if unit <= 0 {
@@ -525,41 +675,71 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 		if len(bufs[i]) == 0 {
 			return nil
 		}
-		return &transport.Request{Type: transport.MsgWrite, Data: bufs[i]}
+		return &transport.Request{Type: transport.MsgWrite, Data: bufs[i], LayoutGen: h.layoutGen}
 	}); err != nil {
+		if retryableLayout(err) {
+			// No repair across layouts (or against a holder whose commit
+			// has not landed): the caller re-stats and retries.
+			return err
+		}
 		// Some stripes may have appended and some not; a blind retry
 		// would re-append the landed chunks and silently corrupt the
 		// round-robin layout. Repair instead: top each stripe up to its
 		// exact target length, and poison the handle if that fails.
 		if rerr := c.repairWrite(h, set, bufs, unit); rerr != nil {
+			if retryableLayout(rerr) {
+				return rerr
+			}
 			h.damaged = true
-			return 0, fmt.Errorf("client: striped write failed and could not be repaired: %w", rerr)
+			return fmt.Errorf("client: striped write failed and could not be repaired: %w", rerr)
 		}
 	}
 	h.size += int64(len(p))
 	h.off = h.size
-	return len(p), nil
+	return nil
+}
+
+// refreshHandle re-learns a file's layout and size after a
+// stale-layout answer: the cutover of a stripe migration rewrote the
+// metadata, and the handle's cached stripe set predates it.
+func (c *Client) refreshHandle(h *fileHandle) error {
+	size, isDir, lay, err := c.statFull(h.path)
+	if err != nil {
+		return err
+	}
+	if isDir {
+		return fmt.Errorf("client: %s: replaced by a directory", h.path)
+	}
+	h.size = size
+	h.stripes, h.unit, h.set, h.layoutGen = lay.stripes, lay.unit, lay.set, lay.gen
+	return nil
 }
 
 // localLen returns how many bytes of a total-byte file laid round-robin
-// in unit-sized chunks over nStripes servers land on stripe i.
+// in unit-sized chunks over nStripes servers land on stripe i. The one
+// implementation lives in fsys (the migration planner trims sealed
+// stripes with it too); the property test here covers that shared copy.
 func localLen(total int64, i, nStripes int, unit int64) int64 {
-	cycle := unit * int64(nStripes)
-	n := (total / cycle) * unit
-	rem := total%cycle - int64(i)*unit
-	if rem > unit {
-		rem = unit
-	}
-	if rem > 0 {
-		n += rem
-	}
-	return n
+	return fsys.LocalLen(total, i, nStripes, unit)
 }
 
 // repairWrite completes a partially-landed striped write: each stripe
 // server reports its local length, and only the missing tail of its
 // span is re-sent. Appends are per-server ordered, so the local length
 // identifies exactly which chunks landed.
+//
+// A stripe longer than its target ("over-landed") cannot arise from
+// this handle's own protocol: every chunk is sent exactly once per
+// attempt, a landed chunk is detected here by its length and never
+// re-sent, and a top-up whose ack is lost leaves the stripe exactly at
+// target (need becomes 0 on the next inspection), never past it. The
+// only producers of surplus bytes are a second writer on the same path
+// (outside the handle contract) or a duplicated delivery through some
+// future at-least-once transport. Rather than refusing outright, the
+// repair reads this write's own span back: byte-identical content
+// means every chunk of this write is correctly placed and the surplus
+// is not this write's corruption to report; a mismatch is refused as
+// before.
 func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit int64) error {
 	target := h.size + func() int64 {
 		var n int64
@@ -577,14 +757,21 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 			return fmt.Errorf("stripe %s: %s", addr, resp.Err)
 		}
 		need := localLen(target, i, len(set), unit) - resp.Size
-		if need < 0 || need > int64(len(bufs[i])) {
+		if need > int64(len(bufs[i])) {
 			return fmt.Errorf("stripe %s has unexpected length %d", addr, resp.Size)
+		}
+		if need < 0 {
+			if err := c.verifySpan(h, addr, i, len(set), unit, bufs[i]); err != nil {
+				return fmt.Errorf("stripe %s over-landed to %d: %w", addr, resp.Size, err)
+			}
+			continue
 		}
 		if need == 0 {
 			continue
 		}
 		wresp, err := c.callAddr(addr, h.path, &transport.Request{
 			Type: transport.MsgWrite, Data: bufs[i][int64(len(bufs[i]))-need:],
+			LayoutGen: h.layoutGen,
 		})
 		if err != nil {
 			return fmt.Errorf("stripe %s unreachable: %w", addr, err)
@@ -596,14 +783,58 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 	return nil
 }
 
+// verifySpan reads back the local span this write addressed on one
+// stripe server and compares it to the bytes sent — the over-landed
+// repair check.
+func (c *Client) verifySpan(h *fileHandle, addr string, i, nStripes int, unit int64, want []byte) error {
+	if len(want) == 0 {
+		return nil
+	}
+	start := localLen(h.size, i, nStripes, unit)
+	resp, err := c.callAddr(addr, h.path, &transport.Request{
+		Type: transport.MsgRead, Offset: start, Size: int64(len(want)),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return resp.Error()
+	}
+	if !bytes.Equal(resp.Data[:resp.N], want) {
+		return fmt.Errorf("span content mismatch at local offset %d", start)
+	}
+	return nil
+}
+
 // Read reads up to len(p) bytes from the handle's offset. A striped
 // read touches each stripe server's locally-contiguous range once, in
-// parallel, and reassembles the units into p.
+// parallel, and reassembles the units into p. A stale-layout answer
+// (the file was rebalanced under this handle) re-stats the path and
+// retries once against the migrated layout.
 func (c *Client) Read(fd int, p []byte) (int, error) {
 	h, err := c.handle(fd)
 	if err != nil {
 		return 0, err
 	}
+	n, err := c.readOnce(h, p)
+	for deadline := time.Now().Add(statRetryTimeout); err != nil && retryableLayout(err) && !time.Now().After(deadline); {
+		// A cutover can land between the re-stat and the retry (the
+		// refresh may still see the old layout while the old holders
+		// serve sealed reads); a bounded loop rides the window out. The
+		// backoff keeps a crowd of handles on one migrating file from
+		// turning the window into a stat storm against the servers the
+		// policy is throttling.
+		time.Sleep(10 * time.Millisecond)
+		if rerr := c.refreshHandle(h); rerr != nil {
+			return 0, fmt.Errorf("client: %s: layout changed and re-stat failed: %w", h.path, rerr)
+		}
+		n, err = c.readOnce(h, p)
+	}
+	return n, err
+}
+
+// readOnce performs one read attempt at the handle's current layout.
+func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 	set := h.set
 	if len(set) == 0 {
 		set = c.stripeSet(h.path, h.stripes)
@@ -614,6 +845,7 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 	if len(set) == 1 {
 		resp, err := c.callAddr(set[0], h.path, &transport.Request{
 			Type: transport.MsgRead, Offset: h.off, Size: int64(len(p)),
+			LayoutGen: h.layoutGen,
 		})
 		if err != nil {
 			return 0, err
@@ -670,7 +902,10 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 		if lo[i] < 0 {
 			return nil
 		}
-		return &transport.Request{Type: transport.MsgRead, Offset: lo[i], Size: hi[i] - lo[i]}
+		return &transport.Request{
+			Type: transport.MsgRead, Offset: lo[i], Size: hi[i] - lo[i],
+			LayoutGen: h.layoutGen,
+		}
 	})
 	if err != nil {
 		return 0, err
@@ -699,29 +934,34 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 }
 
 // Lseek repositions the handle. Whence follows POSIX: 0=set, 1=cur,
-// 2=end.
+// 2=end. A resulting offset below zero is refused with the handle
+// unmoved — POSIX EINVAL — instead of the old silent clamp to zero,
+// which hid arithmetic bugs in callers by quietly rereading the file
+// head.
 func (c *Client) Lseek(fd int, offset int64, whence int) (int64, error) {
 	h, err := c.handle(fd)
 	if err != nil {
 		return 0, err
 	}
+	var next int64
 	switch whence {
 	case 0:
-		h.off = offset
+		next = offset
 	case 1:
-		h.off += offset
+		next = h.off + offset
 	case 2:
 		size, _, err := c.Stat(h.path)
 		if err != nil {
 			return 0, err
 		}
-		h.off = size + offset
+		next = size + offset
 	default:
 		return 0, fmt.Errorf("client: bad whence %d", whence)
 	}
-	if h.off < 0 {
-		h.off = 0
+	if next < 0 {
+		return 0, fmt.Errorf("client: invalid seek to negative offset %d (EINVAL)", next)
 	}
+	h.off = next
 	return h.off, nil
 }
 
@@ -743,11 +983,23 @@ func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
 	return size, isDir, err
 }
 
+// Layout returns a file's recorded stripe servers (in stripe order) and
+// stripe width — the operator's view of where a file's bytes live,
+// which rebalancing rewrites as the fabric grows.
+func (c *Client) Layout(path string) (set []string, stripes int, err error) {
+	_, _, lay, err := c.statFull(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return lay.set, lay.stripes, nil
+}
+
 // layout is a file's stripe geometry as recorded in its metadata.
 type layoutInfo struct {
 	stripes int
 	unit    int64
 	set     []string
+	gen     uint64 // layout generation; echoed on reads and writes
 }
 
 // statFull stats the path's ring owner to learn what it is — a
@@ -757,18 +1009,76 @@ type layoutInfo struct {
 // creation and no longer holds the entry, every connected server is
 // consulted before giving up (metadata is findable as long as any
 // stripe server lives).
+//
+// The stripe-size fan-out is layout-generation-checked: every stripe
+// server must answer under the same generation the layout was read at,
+// so a stat can never sum sizes across two different layouts of a
+// mid-migration file. A stale answer anywhere — or a not-exist from a
+// stripe member after the layout itself was readable, which is a
+// target whose commit has not landed yet — re-reads the layout (a
+// rebalance cutover lands within a couple of round trips; the first
+// retry refreshes membership so freshly joined owners are dialed).
 func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, err error) {
+	staleDeadline := time.Now().Add(statRetryTimeout)
+	goneDeadline := time.Now().Add(statGoneRetryTimeout)
+	for attempt := 0; ; attempt++ {
+		var transient bool
+		size, isDir, lay, transient, err = c.statOnce(path, false)
+		if err == nil || !transient {
+			return size, isDir, lay, err
+		}
+		if transport.IsStaleLayout(err) {
+			if time.Now().After(staleDeadline) {
+				return size, isDir, lay, err
+			}
+		} else if time.Now().After(goneDeadline) {
+			// A stripe member still answering not-exist past every
+			// cutover window holds a genuinely lost stripe (a volatile
+			// member crash-restarted empty, say): fall back to summing
+			// the members that do hold data — a stripe lost to failover
+			// contributes nothing, and the stat must not fail just
+			// because the recorded layout names it, or Unlink could
+			// never clean such files up.
+			size, isDir, lay, _, err = c.statOnce(path, true)
+			return size, isDir, lay, err
+		}
+		if attempt == 0 {
+			c.refreshMembership()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// statRetryTimeout bounds how long a stat chases a moving layout — the
+// seal-to-cutover window of one file's migration, which stretches with
+// machine load since the copy is policy-throttled. Only transient
+// outcomes retry, so genuine errors still fail on the first attempt.
+// statGoneRetryTimeout is the shorter budget for a stripe member
+// answering not-exist: a mid-cutover target commits within a couple of
+// round trips, while a genuinely lost stripe never will — after it,
+// the stat degrades to the tolerant partial sum.
+const (
+	statRetryTimeout     = 2 * time.Second
+	statGoneRetryTimeout = 500 * time.Millisecond
+)
+
+// statOnce is one layout read + generation-checked stripe-size sum.
+// transient marks outcomes worth re-reading the layout for: a
+// stale-layout answer anywhere, or a not-exist from the stripe
+// fan-out (the layout was just readable, so the member is a
+// mid-cutover target, not a deleted file).
+func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir bool, lay layoutInfo, transient bool, err error) {
 	resp, err := c.call(path, &transport.Request{Type: transport.MsgStat})
 	if err != nil {
 		resp = c.statAny(path)
 		if resp == nil {
-			return 0, false, lay, err
+			return 0, false, lay, transport.IsStaleLayout(err), err
 		}
 	}
 	if resp.IsDir {
-		return 0, true, layoutInfo{stripes: 1}, nil
+		return 0, true, layoutInfo{stripes: 1}, false, nil
 	}
-	lay.stripes, lay.unit, lay.set = resp.Stripes, resp.StripeUnit, resp.StripeSet
+	lay.stripes, lay.unit, lay.set, lay.gen = resp.Stripes, resp.StripeUnit, resp.StripeSet, resp.LayoutGen
 	if lay.stripes < 1 {
 		lay.stripes = 1
 	}
@@ -779,30 +1089,57 @@ func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, 
 		lay.set = c.stripeSet(path, lay.stripes)
 	}
 	if len(lay.set) == 1 {
-		return resp.Size, false, lay, nil
+		return resp.Size, false, lay, false, nil
 	}
 	// Sum sizes over the reachable stripe servers only: a stripe lost
 	// to failover contributes nothing (its bytes are gone), and the
 	// stat itself must not fail just because the layout names a dead
-	// member — Unlink needs the layout to clean such files up.
+	// member — Unlink needs the layout to clean such files up. Members
+	// this client has not dialed yet (a migrated layout naming a
+	// freshly joined server) are connected on demand.
 	var live []string
-	c.mu.Lock()
 	for _, addr := range lay.set {
-		if _, ok := c.conns[addr]; ok {
+		if _, err := c.ensureConn(addr); err == nil {
 			live = append(live, addr)
 		}
 	}
-	c.mu.Unlock()
+	if tolerateMissing {
+		// Degraded mode (statFull's not-exist budget ran out): sum the
+		// members that do hold the entry, skipping the rest — the
+		// pre-rebalance partial-loss semantics.
+		for _, addr := range live {
+			r, err := c.callAddr(addr, path, &transport.Request{Type: transport.MsgStat})
+			if err != nil || r.Err != "" {
+				continue
+			}
+			size += r.Size
+		}
+		return size, false, lay, false, nil
+	}
 	resps, err := c.fanOut(live, path, func(int) *transport.Request {
-		return &transport.Request{Type: transport.MsgStat}
+		return &transport.Request{Type: transport.MsgStat, LayoutGen: lay.gen}
 	})
 	if err != nil {
-		return 0, false, lay, err
+		transient := transport.IsStaleLayout(err) || transport.IsNotExist(err)
+		return 0, false, lay, transient, err
+	}
+	if len(live) == len(lay.set) {
+		// The authoritative size is the consistent round-robin prefix of
+		// the per-stripe sizes, not their raw sum: a write racing a
+		// migration seal can land a chunk on a not-yet-frozen stripe
+		// while an earlier chunk is refused, and counting that orphan
+		// would make Write's surviving-prefix arithmetic resume past a
+		// hole — acknowledging bytes the cutover trim then discards.
+		sizes := make([]int64, len(resps))
+		for i, r := range resps {
+			sizes[i] = r.Size
+		}
+		return fsys.ConsistentTotal(sizes, lay.unit), false, lay, false, nil
 	}
 	for _, r := range resps {
 		size += r.Size
 	}
-	return size, false, lay, nil
+	return size, false, lay, false, nil
 }
 
 // statAny broadcasts a stat to every connected server and returns the
@@ -891,6 +1228,13 @@ func (c *Client) Mkdir(path string) error {
 
 // Readdir lists a directory, merging the children recorded on each
 // server (a file's directory entry lives on the file's owner server).
+// A server that answers not-exist contributes nothing instead of
+// failing the merge: directory replication is opportunistic — a member
+// that joined after the mkdir legitimately lacks the entry until
+// something migrates into it. Only not-exist is tolerated (any other
+// error, like not-a-directory, signals real divergence and surfaces),
+// and the listing fails when every server answers not-exist (a
+// genuinely missing directory).
 func (c *Client) Readdir(path string) ([]string, error) {
 	resps, err := c.broadcast(path, func() *transport.Request {
 		return &transport.Request{Type: transport.MsgReaddir}
@@ -900,16 +1244,28 @@ func (c *Client) Readdir(path string) ([]string, error) {
 	}
 	seen := map[string]bool{}
 	var names []string
+	var firstErr error
+	ok := false
 	for _, r := range resps {
 		if r.Err != "" {
-			return nil, r.Error()
+			if !transport.IsNotExist(r.Error()) {
+				return nil, r.Error()
+			}
+			if firstErr == nil {
+				firstErr = r.Error()
+			}
+			continue
 		}
+		ok = true
 		for _, n := range r.Names {
 			if !seen[n] {
 				seen[n] = true
 				names = append(names, n)
 			}
 		}
+	}
+	if !ok && firstErr != nil {
+		return nil, firstErr
 	}
 	sort.Strings(names)
 	return names, nil
@@ -926,13 +1282,11 @@ func (c *Client) Unlink(path string) error {
 	}
 	if !isDir {
 		var live []string
-		c.mu.Lock()
 		for _, addr := range lay.set {
-			if _, ok := c.conns[addr]; ok {
+			if _, err := c.ensureConn(addr); err == nil {
 				live = append(live, addr)
 			}
 		}
-		c.mu.Unlock()
 		if len(live) == 0 {
 			return fmt.Errorf("client: no live stripe servers hold %s", path)
 		}

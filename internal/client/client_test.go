@@ -3,6 +3,7 @@ package client
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"testing"
@@ -303,6 +304,46 @@ func TestStripeWidthInterop(t *testing.T) {
 	}
 }
 
+// POSIX lseek: a resulting offset below zero is EINVAL, with the
+// handle unmoved — the old behaviour silently clamped to zero, so a
+// caller's off-by-N seek bug quietly reread the file head. Regression
+// for the whence 0/1 arithmetic; whence 2 keeps resolving end-of-file
+// through Stat and refuses a negative result the same way.
+func TestLseekNegative(t *testing.T) {
+	addrs := startServers(t, 1)
+	c, err := Dial(testJob("seek"), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/seek", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(fd, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lseek(fd, -1, 0); err == nil {
+		t.Fatal("whence 0 to a negative offset must fail")
+	}
+	if off, err := c.Lseek(fd, 4, 0); err != nil || off != 4 {
+		t.Fatalf("seek-set = %d err=%v", off, err)
+	}
+	if _, err := c.Lseek(fd, -5, 1); err == nil {
+		t.Fatal("whence 1 producing a negative offset must fail")
+	}
+	// The failed seeks must not have moved the handle.
+	if off, err := c.Lseek(fd, 0, 1); err != nil || off != 4 {
+		t.Fatalf("offset after refused seeks = %d err=%v, want 4", off, err)
+	}
+	if _, err := c.Lseek(fd, -11, 2); err == nil {
+		t.Fatal("whence 2 producing a negative offset must fail")
+	}
+	if off, err := c.Lseek(fd, -10, 2); err != nil || off != 0 {
+		t.Fatalf("seek-end -size = %d err=%v, want 0", off, err)
+	}
+}
+
 // localLen is the invariant the write-repair path leans on: the local
 // stripe lengths of a round-robin layout must always sum to the total
 // and match a brute-force unit walk.
@@ -337,6 +378,62 @@ func TestLocalLen(t *testing.T) {
 		}
 		if sum != tc.total {
 			t.Fatalf("localLen over %+v sums to %d", tc, sum)
+		}
+	}
+}
+
+// bruteLocalLens walks the round-robin layout unit by unit — the
+// reference implementation the closed form must match.
+func bruteLocalLens(total int64, n int, unit int64) []int64 {
+	out := make([]int64, n)
+	for off := int64(0); off < total; {
+		u := off / unit
+		step := unit - off%unit
+		if step > total-off {
+			step = total - off
+		}
+		out[int(u)%n] += step
+		off += step
+	}
+	return out
+}
+
+// Property test over randomized (total, nStripes, unit): the
+// rebalancer's migration planner and the write-repair path both lean
+// on localLen agreeing with the brute-force unit walk for arbitrary
+// geometries, including totals far from cycle boundaries and units
+// down to a single byte.
+func TestLocalLenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 5000; iter++ {
+		n := 1 + rng.Intn(9)
+		unit := int64(1 + rng.Intn(1<<13))
+		var total int64
+		switch rng.Intn(4) {
+		case 0:
+			total = int64(rng.Intn(10)) // tiny files
+		case 1:
+			total = unit * int64(n) * int64(rng.Intn(8)) // exact cycles
+		case 2:
+			total = unit*int64(n)*int64(rng.Intn(8)) + int64(rng.Intn(int(unit))) // mid-unit tail
+		default:
+			total = int64(rng.Intn(1 << 20))
+		}
+		brute := bruteLocalLens(total, n, unit)
+		var sum int64
+		for i := 0; i < n; i++ {
+			got := localLen(total, i, n, unit)
+			if got != brute[i] {
+				t.Fatalf("iter %d: localLen(%d,%d,%d,%d) = %d, want %d",
+					iter, total, i, n, unit, got, brute[i])
+			}
+			if got < 0 {
+				t.Fatalf("iter %d: negative local length %d", iter, got)
+			}
+			sum += got
+		}
+		if sum != total {
+			t.Fatalf("iter %d: lengths sum to %d, want %d", iter, sum, total)
 		}
 	}
 }

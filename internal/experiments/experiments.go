@@ -87,6 +87,7 @@ var Registry = []Spec{
 	{"ablation", "design ablations: opportunity fairness, presence deweighting", Ablation},
 	{"metadata", "§2.2.1 metadata-storm isolation (iops_stat)", Metadata},
 	{"stageout", "stage-out drain vs foreground under the sharing policy", StageOut},
+	{"rebalance", "join-time stripe migration vs foreground under the sharing policy", Rebalance},
 }
 
 // Lookup finds a registry entry by ID.

@@ -21,7 +21,7 @@ func metricsOf(t *testing.T, r *Result) map[string]float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"capacity", "fig1", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig12", "fig13", "fig14", "ablation", "metadata",
-		"stageout"}
+		"stageout", "rebalance"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -187,6 +187,11 @@ func TestStageOutShareTracksPolicy(t *testing.T) {
 		t.Fatalf("foreground under size-fair = %.1f GB/s, drain must not starve it", m["sizefair_fg_gbps"])
 	}
 }
+
+// The rebalance experiment's sharing assertion lives with the
+// acceptance test (TestRebalanceShareTracksPolicy in
+// internal/cluster/rebalance_test.go, tighter ±0.01 tolerance) —
+// running the same ~15s simulation twice bought nothing.
 
 func TestRenderIncludesPaperReference(t *testing.T) {
 	res := Capacity()

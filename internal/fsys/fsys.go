@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"themisio/internal/chash"
 	"themisio/internal/storage"
@@ -30,6 +31,13 @@ var (
 	ErrNotDir    = errors.New("fsys: not a directory")
 	ErrNotEmpty  = errors.New("fsys: directory not empty")
 	ErrBadOffset = errors.New("fsys: negative offset")
+	// ErrStaleLayout reports an operation against a layout this shard no
+	// longer serves: the entry was migrated away (rebalancing moved its
+	// stripe to another server), is write-frozen mid-migration, or its
+	// layout generation no longer matches the caller's cached one. The
+	// condition is routing staleness, not data loss — the caller re-stats
+	// the path to learn the current layout and retries.
+	ErrStaleLayout = errors.New("fsys: stale file layout (migrated)")
 )
 
 // FileInfo is the stat result.
@@ -46,6 +54,11 @@ type FileInfo struct {
 	// creation; readers follow it instead of re-deriving placement from
 	// a ring that may have changed since.
 	StripeSet []string
+	// LayoutGen is the layout generation: 1 at creation, bumped every
+	// time rebalancing rewrites the recorded layout. Clients cache it
+	// per handle and echo it on reads and writes, so a server can tell
+	// a request computed against a superseded layout from a current one.
+	LayoutGen uint64
 }
 
 // node is one namespace entry on a shard.
@@ -60,6 +73,16 @@ type node struct {
 	// lifetime): stage-out work harvested from one incarnation of a
 	// path must never land against a later one (unlink + recreate).
 	gen uint64
+	// layoutGen is the recorded layout's generation (see
+	// FileInfo.LayoutGen); sealed write-freezes the local stripe while
+	// a migration copies it (reads still serve, writes get
+	// ErrStaleLayout so no acknowledged byte can miss the cutover copy).
+	// sealedAt records when the seal was placed, so the zombie sweep
+	// can tell a live migration's seal from one whose coordinator died
+	// between cutover and drop delivery.
+	layoutGen uint64
+	sealed    bool
+	sealedAt  time.Time
 	// dirty tracks byte ranges written since the last stage-out (files);
 	// metaDirty marks an entry whose existence or child set is not yet
 	// staged (set at creation — so empty files reach the backing store
@@ -84,6 +107,17 @@ type Shard struct {
 	// the drain engine propagates them as backing-store deletes of this
 	// server's own staged objects.
 	tombstones []Tombstone
+	// moved marks paths whose local stripe rebalancing migrated away
+	// (value: when): operations from clients still holding the old
+	// layout answer ErrStaleLayout (re-stat and retry) instead of
+	// ErrNotExist (which would read as an unlink). Cleared when the
+	// path is created or restored here again, and swept after a
+	// retention far exceeding every client retry window, so the map
+	// cannot grow with lifetime migration count.
+	moved map[string]time.Time
+	// pending holds migration install buffers not yet committed (see
+	// migrate.go).
+	pending map[string]*pendingInstall
 }
 
 // NewShard returns a shard named name with a device of the given
@@ -91,9 +125,11 @@ type Shard struct {
 // "/" must succeed wherever they land).
 func NewShard(name string, capacity int64) *Shard {
 	s := &Shard{
-		name:  name,
-		store: storage.NewStore(capacity),
-		nodes: map[string]*node{},
+		name:    name,
+		store:   storage.NewStore(capacity),
+		nodes:   map[string]*node{},
+		moved:   map[string]time.Time{},
+		pending: map[string]*pendingInstall{},
 	}
 	s.nodes["/"] = &node{isDir: true, children: map[string]bool{}}
 	return s
@@ -123,10 +159,12 @@ func (s *Shard) CreateEntry(p string, dir bool, stripes int, unit int64, set []s
 		return ErrExist
 	}
 	s.genCtr++
+	delete(s.moved, p) // a fresh incarnation supersedes any moved marker
 	n := &node{isDir: dir, stripes: stripes, unit: unit, set: set, gen: s.genCtr, metaDirty: true}
 	if dir {
 		n.children = map[string]bool{}
 	} else {
+		n.layoutGen = 1
 		n.index = storage.NewIndex()
 		n.dirty = storage.NewRangeSet()
 	}
@@ -193,14 +231,28 @@ func (s *Shard) RemoveEntry(p string) error {
 // Stat returns metadata for an entry owned by this shard. For files, Size
 // is the size of the local stripe only; the router sums stripes.
 func (s *Shard) Stat(p string) (FileInfo, error) {
+	return s.StatGen(p, 0)
+}
+
+// StatGen is Stat with a layout-generation expectation checked inside
+// the same critical section that reads the entry (layoutGen 0 skips
+// the check): a caller comparing with a separate lookup could race a
+// migration commit swapping the entry between the check and the read.
+func (s *Shard) StatGen(p string, layoutGen uint64) (FileInfo, error) {
 	p = clean(p)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n, ok := s.nodes[p]
 	if !ok {
+		if _, mv := s.moved[p]; mv {
+			return FileInfo{}, ErrStaleLayout
+		}
 		return FileInfo{}, ErrNotExist
 	}
-	fi := FileInfo{Path: p, IsDir: n.isDir, Stripes: n.stripes, StripeUnit: n.unit, StripeSet: n.set}
+	if layoutGen != 0 && n.layoutGen != 0 && n.layoutGen != layoutGen {
+		return FileInfo{}, ErrStaleLayout
+	}
+	fi := FileInfo{Path: p, IsDir: n.isDir, Stripes: n.stripes, StripeUnit: n.unit, StripeSet: n.set, LayoutGen: n.layoutGen}
 	if n.index != nil {
 		fi.Size = n.index.Size()
 	}
@@ -235,15 +287,37 @@ func (s *Shard) Readdir(p string) ([]string, error) {
 // DropStale, which release the node's extents) cannot interleave and
 // orphan an acknowledged write.
 func (s *Shard) Append(p string, data []byte) (int64, error) {
+	return s.AppendGen(p, data, 0)
+}
+
+// AppendGen is Append with a layout-generation expectation checked
+// inside the same critical section that resolves the entry (layoutGen
+// 0 skips the check) — a check taken under a separate lock could pass
+// against the old entry and then append to the one a migration commit
+// swapped in, landing an old-layout chunk the trim machinery never
+// sees.
+func (s *Shard) AppendGen(p string, data []byte, layoutGen uint64) (int64, error) {
 	p = clean(p)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n, ok := s.nodes[p]
 	if !ok {
+		if _, mv := s.moved[p]; mv {
+			return 0, ErrStaleLayout
+		}
 		return 0, ErrNotExist
 	}
 	if n.isDir {
 		return 0, ErrIsDir
+	}
+	if n.sealed {
+		// Write-frozen mid-migration: refusing (instead of accepting a
+		// byte the cutover copy has already passed) is what makes "no
+		// acknowledged write is ever lost" hold through a rebalance.
+		return 0, ErrStaleLayout
+	}
+	if layoutGen != 0 && n.layoutGen != 0 && n.layoutGen != layoutGen {
+		return 0, ErrStaleLayout
 	}
 	if len(data) == 0 {
 		return n.index.Size(), nil
@@ -267,6 +341,14 @@ func (s *Shard) Append(p string, data []byte) (int64, error) {
 // shard read-lock is held across the copy so the extents cannot be
 // released by a concurrent entry replacement mid-read.
 func (s *Shard) ReadAt(p string, off int64, buf []byte) (int, error) {
+	return s.ReadAtGen(p, off, buf, 0)
+}
+
+// ReadAtGen is ReadAt with a layout-generation expectation checked
+// inside the read's critical section (layoutGen 0 skips the check), so
+// a reader holding a superseded layout can never be served re-striped
+// bytes by an entry swapped in mid-request.
+func (s *Shard) ReadAtGen(p string, off int64, buf []byte, layoutGen uint64) (int, error) {
 	p = clean(p)
 	if off < 0 {
 		return 0, ErrBadOffset
@@ -275,10 +357,16 @@ func (s *Shard) ReadAt(p string, off int64, buf []byte) (int, error) {
 	defer s.mu.RUnlock()
 	n, ok := s.nodes[p]
 	if !ok {
+		if _, mv := s.moved[p]; mv {
+			return 0, ErrStaleLayout
+		}
 		return 0, ErrNotExist
 	}
 	if n.isDir {
 		return 0, ErrIsDir
+	}
+	if layoutGen != 0 && n.layoutGen != 0 && n.layoutGen != layoutGen {
+		return 0, ErrStaleLayout
 	}
 	total := 0
 	for _, sl := range n.index.Resolve(off, int64(len(buf))) {

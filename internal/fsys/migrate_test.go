@@ -1,0 +1,246 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// newMigShard builds a shard holding one striped file entry with data.
+func newMigShard(t *testing.T, name string, set []string, data []byte) *Shard {
+	t.Helper()
+	s := NewShard(name, 1<<20)
+	if err := s.CreateEntry("/f", false, len(set), 4, set); err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 0 {
+		if _, err := s.Append("/f", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSealFreezesWritesNotReads(t *testing.T) {
+	s := newMigShard(t, "a", []string{"a", "b"}, []byte("hello"))
+	size, gen, err := s.Seal("/f", 0)
+	if err != nil || size != 5 || gen == 0 {
+		t.Fatalf("Seal = (%d,%d,%v)", size, gen, err)
+	}
+	// The generation-checked form refuses a mismatched expectation (a
+	// resume pass distinguishing old-layout holders from committed
+	// ones) and accepts the matching one.
+	if _, _, err := s.Seal("/f", 9); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("gen-mismatched seal err = %v", err)
+	}
+	if _, _, err := s.Seal("/f", 1); err != nil {
+		t.Fatalf("gen-matched seal: %v", err)
+	}
+	if _, err := s.Append("/f", []byte("x")); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("sealed append err = %v, want ErrStaleLayout", err)
+	}
+	buf := make([]byte, 5)
+	if n, err := s.ReadAt("/f", 0, buf); err != nil || n != 5 {
+		t.Fatalf("sealed read: n=%d err=%v", n, err)
+	}
+	// Idempotent; unseal restores writability.
+	if _, _, err := s.Seal("/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Unseal("/f")
+	if _, err := s.Append("/f", []byte("x")); err != nil {
+		t.Fatalf("unsealed append: %v", err)
+	}
+}
+
+// UnsealTrim removes the torn tail a write racing the seal phase left
+// behind (never-acknowledged bytes past the consistent prefix) and
+// restages the trimmed stripe, so later appends land at the right
+// round-robin positions.
+func TestUnsealTrim(t *testing.T) {
+	s := newMigShard(t, "a", []string{"a", "b"}, []byte("acked+torn"))
+	if _, _, err := s.Seal("/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnsealTrim("/f", 5); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := s.Stat("/f")
+	if err != nil || fi.Size != 5 {
+		t.Fatalf("trimmed stat = %+v err=%v", fi, err)
+	}
+	buf := make([]byte, 8)
+	if n, _ := s.ReadAt("/f", 0, buf); n != 5 || string(buf[:n]) != "acked" {
+		t.Fatalf("trimmed content = %q", buf[:n])
+	}
+	// Unsealed again: appends land after the trimmed prefix.
+	if _, err := s.Append("/f", []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	// The trim tombstoned the stale staged object and re-marked the
+	// entry dirty, so the backing store restages from scratch.
+	if len(s.TakeTombstones()) != 1 {
+		t.Fatal("trim should tombstone the stale staged object")
+	}
+	if !s.HasDirty() {
+		t.Fatal("trimmed entry should be fully dirty")
+	}
+	// keep >= size is a plain unseal: no trim, no tombstone.
+	s2 := newMigShard(t, "a", []string{"a"}, []byte("xyz"))
+	if _, _, err := s2.Seal("/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.UnsealTrim("/f", 3); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := s2.Stat("/f"); fi.Size != 3 {
+		t.Fatalf("no-op trim changed size to %d", fi.Size)
+	}
+	if len(s2.TakeTombstones()) != 0 {
+		t.Fatal("no-op trim must not tombstone")
+	}
+}
+
+func TestMigrateInstallCommit(t *testing.T) {
+	s := NewShard("b", 1<<20)
+	// Out-of-order and duplicate chunks are refused.
+	if err := s.MigrateInstall("/g", 4, []byte("late")); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("out-of-order first chunk err = %v", err)
+	}
+	if err := s.MigrateInstall("/g", 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MigrateInstall("/g", 2, []byte("dup")); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("duplicate chunk err = %v", err)
+	}
+	if err := s.MigrateInstall("/g", 4, []byte("efgh")); err != nil {
+		t.Fatal(err)
+	}
+	// Pending is invisible until commit.
+	if _, err := s.Stat("/g"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("pending entry visible: %v", err)
+	}
+	if err := s.MigrateCommit("/g", 2, 4, []string{"b", "c"}, 7); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := s.Stat("/g")
+	if err != nil || fi.Size != 8 || fi.LayoutGen != 7 || fi.Stripes != 2 {
+		t.Fatalf("committed stat = %+v err=%v", fi, err)
+	}
+	buf := make([]byte, 8)
+	if n, _ := s.ReadAt("/g", 0, buf); n != 8 || !bytes.Equal(buf, []byte("abcdefgh")) {
+		t.Fatalf("committed content = %q", buf[:n])
+	}
+	// The committed entry is fully dirty: it must restage under the new
+	// layout.
+	if !s.HasDirty() {
+		t.Fatal("committed entry should be dirty")
+	}
+}
+
+func TestMigrateCommitReplacesOldStripe(t *testing.T) {
+	s := newMigShard(t, "a", []string{"a", "b"}, []byte("oldbytes"))
+	if err := s.MigrateInstall("/f", 0, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MigrateCommit("/f", 1, 4, []string{"a"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := s.Stat("/f")
+	if err != nil || fi.Size != 3 || fi.LayoutGen != 3 || len(fi.StripeSet) != 1 {
+		t.Fatalf("replaced stat = %+v err=%v", fi, err)
+	}
+}
+
+// A commit is idempotent by layout generation: the migrator re-sends
+// it when a reply is lost on a torn connection, and the duplicate must
+// neither fabricate an empty stripe nor disturb the installed one.
+func TestMigrateCommitIdempotent(t *testing.T) {
+	s := NewShard("b", 1<<20)
+	if err := s.MigrateInstall("/g", 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MigrateCommit("/g", 1, 4, []string{"b"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate delivery: no pending buffer left, entry already at the
+	// generation — must succeed without touching the content.
+	if err := s.MigrateCommit("/g", 1, 4, []string{"b"}, 5); err != nil {
+		t.Fatalf("duplicate commit: %v", err)
+	}
+	fi, err := s.Stat("/g")
+	if err != nil || fi.Size != 7 {
+		t.Fatalf("content after duplicate commit: %+v err=%v", fi, err)
+	}
+	// A bare commit (no pending, different generation) is refused: it
+	// could only destroy bytes the first delivery landed.
+	if err := s.MigrateCommit("/g", 1, 4, []string{"b"}, 9); err == nil {
+		t.Fatal("commit with no pending install should be refused")
+	}
+}
+
+func TestMigrateDropGenChecked(t *testing.T) {
+	s := newMigShard(t, "a", []string{"a", "b"}, []byte("data"))
+	gen := s.GenOf("/f")
+	// A recreate bumps the generation; the stale drop must be a no-op.
+	if s.MigrateDrop("/f", gen+99) {
+		t.Fatal("gen-mismatched drop should refuse")
+	}
+	if !s.MigrateDrop("/f", gen) {
+		t.Fatal("matching drop should land")
+	}
+	// Dropped paths answer stale-layout, not not-exist, and tombstone
+	// their staged object.
+	if _, err := s.Stat("/f"); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("moved stat err = %v", err)
+	}
+	if _, err := s.Append("/f", []byte("x")); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("moved append err = %v", err)
+	}
+	if _, err := s.ReadAt("/f", 0, make([]byte, 1)); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("moved read err = %v", err)
+	}
+	if !s.Moved("/f") {
+		t.Fatal("Moved should report the migrated path")
+	}
+	ts := s.TakeTombstones()
+	if len(ts) != 1 || ts[0].Path != "/f" {
+		t.Fatalf("tombstones = %+v", ts)
+	}
+	// A fresh incarnation supersedes the moved marker.
+	if err := s.CreateEntry("/f", false, 1, 4, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Moved("/f") {
+		t.Fatal("recreate should clear the moved marker")
+	}
+}
+
+// The layout-generation checks live inside the data ops' own critical
+// sections: a separate check-then-operate could race a migration
+// commit swapping the entry between the two.
+func TestGenCheckedOps(t *testing.T) {
+	s := newMigShard(t, "a", []string{"a"}, []byte("abc"))
+	if _, err := s.AppendGen("/f", []byte("d"), 0); err != nil {
+		t.Fatalf("zero gen must be unchecked: %v", err)
+	}
+	if _, err := s.AppendGen("/f", []byte("e"), 1); err != nil {
+		t.Fatalf("matching gen append: %v", err)
+	}
+	if _, err := s.AppendGen("/f", []byte("x"), 9); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("mismatched gen append err = %v", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := s.ReadAtGen("/f", 0, buf, 9); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("mismatched gen read err = %v", err)
+	}
+	if n, err := s.ReadAtGen("/f", 0, buf, 1); err != nil || string(buf[:n]) != "abcde" {
+		t.Fatalf("gen read = %q err=%v", buf[:n], err)
+	}
+	if _, err := s.StatGen("/f", 9); !errors.Is(err, ErrStaleLayout) {
+		t.Fatalf("mismatched gen stat err = %v", err)
+	}
+	if fi, err := s.StatGen("/f", 1); err != nil || fi.Size != 5 {
+		t.Fatalf("gen stat = %+v err=%v", fi, err)
+	}
+}

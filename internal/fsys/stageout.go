@@ -29,11 +29,15 @@ type DirtyChunk struct {
 	Off  int64
 	Data []byte
 	// Stripe is this shard's position in the file's stripe set; Stripes,
-	// Unit and Set are the recorded layout.
-	Stripe  int
-	Stripes int
-	Unit    int64
-	Set     []string
+	// Unit, Set and LayoutGen are the recorded layout (LayoutGen rides
+	// to the backing store so failover adoption can bump past it — an
+	// adopted layout must be detectably newer than any client's cached
+	// generation).
+	Stripe    int
+	Stripes   int
+	Unit      int64
+	Set       []string
+	LayoutGen uint64
 }
 
 // GenOf returns the creation generation of the entry at p, 0 if absent.
@@ -137,7 +141,8 @@ func (s *Shard) chunksOf(h harvest, chunkBytes int64, out []DirtyChunk) []DirtyC
 	base := DirtyChunk{
 		Path: h.path, Gen: n.gen,
 		Stripe: s.stripeOf(n), Stripes: n.stripes, Unit: n.unit,
-		Set: append([]string(nil), n.set...),
+		Set:       append([]string(nil), n.set...),
+		LayoutGen: n.layoutGen,
 	}
 	emitted := false
 	size := n.index.Size()
@@ -341,9 +346,13 @@ func (s *Shard) FilesWithServer(addr string) []string {
 // replacing any existing local entry (recovery reconstructs the whole
 // file, so a stale local stripe is superseded). The restored entry is
 // clean; the caller marks it dirty when it should restage under the new
-// layout. The child entry is recorded in the local parent directory if
-// this shard holds it.
-func (s *Shard) RestoreFile(p string, data []byte, stripes int, unit int64, set []string) error {
+// layout. layoutGen is the layout generation to install (0 selects the
+// creation default): a crash-restart re-hydration preserves the staged
+// generation, while failover adoption passes one past the highest
+// staged generation so clients still holding the pre-failure layout
+// are detectably stale. The child entry is recorded in the local
+// parent directory if this shard holds it.
+func (s *Shard) RestoreFile(p string, data []byte, stripes int, unit int64, set []string, layoutGen uint64) error {
 	p = clean(p)
 	s.mu.Lock()
 	if old, ok := s.nodes[p]; ok {
@@ -375,6 +384,9 @@ func (s *Shard) RestoreFile(p string, data []byte, stripes int, unit int64, set 
 		n.metaDirty = false
 		if n.dirty != nil {
 			n.dirty.Take(0)
+		}
+		if layoutGen > 0 {
+			n.layoutGen = layoutGen
 		}
 	}
 	s.mu.Unlock()

@@ -181,8 +181,25 @@ func StageOutJob(server string) JobInfo {
 	}
 }
 
-// IsStageOut reports whether the job is a drain engine's synthetic
-// background identity (metering and operator tools single these out).
+// RebalanceJob returns the synthetic job identity under which a
+// server's migration coordinator issues join-time stripe-rebalance
+// traffic (stripe fetches and installs on its peers). Like the drain
+// job it is an ordinary 1-node job of the _system user, so the
+// compiled sharing policy governs migration-vs-foreground bandwidth
+// with no reserved lane and no starvation.
+func RebalanceJob(server string) JobInfo {
+	return JobInfo{
+		JobID:   "rebalance@" + server,
+		UserID:  StageOutUser,
+		GroupID: StageOutUser,
+		Nodes:   1,
+	}
+}
+
+// IsStageOut reports whether the job is a synthetic background
+// identity — a drain engine's stage-out job or a rebalance
+// coordinator's migration job (metering and operator tools single
+// these out).
 func (j JobInfo) IsStageOut() bool { return j.UserID == StageOutUser }
 
 // weight returns the job's weight under a terminal level, deweighted by

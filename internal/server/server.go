@@ -13,8 +13,11 @@
 package server
 
 import (
+	"errors"
+	"fmt"
 	"log"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +85,10 @@ type Config struct {
 	Backing backing.Store
 	// FlushTimeout bounds a forced full stage-out (default 30s).
 	FlushTimeout time.Duration
+	// RebalanceDisabled turns off join-time stripe rebalancing (on by
+	// default): with it set, a newly joined member receives new
+	// placements but existing files never migrate toward it.
+	RebalanceDisabled bool
 	// Quiet disables logging.
 	Quiet bool
 }
@@ -95,6 +102,7 @@ type Server struct {
 	shard   *fsys.Shard
 	router  *fsys.Router
 	drain   *backing.Drainer
+	migr    *Migrator
 	bootErr error
 	start   time.Time
 
@@ -190,6 +198,7 @@ func New(ln net.Listener, cfg Config) *Server {
 		}
 		s.drain = backing.NewDrainer(addr, shard, cfg.Backing)
 	}
+	s.migr = NewMigrator(addr, shard, s.node, cfg.Backing, cfg.Quiet)
 	return s
 }
 
@@ -334,6 +343,26 @@ func (s *Server) handleConn(c *transport.Conn) {
 				return
 			}
 			continue
+		case transport.MsgRebalanceStatus:
+			// Operator progress query — control plane, not scheduled.
+			files, bytes, errs, pending := s.migr.Stats()
+			resp := &transport.Response{
+				Seq: req.Seq, N: files, Size: bytes,
+				Epoch: s.migr.Epoch(),
+				Names: []string{
+					fmt.Sprintf("files-migrated %d", files),
+					fmt.Sprintf("bytes-migrated %d", bytes),
+					fmt.Sprintf("errors %d", errs),
+					fmt.Sprintf("pending %d", pending),
+				},
+			}
+			if err := s.migr.LastErr(); err != nil {
+				resp.Names = append(resp.Names, "last-error "+err.Error())
+			}
+			if err := c.SendResponse(resp); err != nil {
+				return
+			}
+			continue
 		}
 		s.table.Observe(req.Job, s.now())
 		r := &sched.Request{
@@ -360,7 +389,7 @@ func opOf(t transport.MsgType) sched.Op {
 	switch t {
 	case transport.MsgRead:
 		return sched.OpRead
-	case transport.MsgWrite:
+	case transport.MsgWrite, transport.MsgMigrate:
 		return sched.OpWrite
 	case transport.MsgOpen, transport.MsgCreate:
 		return sched.OpOpen
@@ -378,7 +407,7 @@ func opOf(t transport.MsgType) sched.Op {
 
 func reqBytes(r *transport.Request) int64 {
 	switch r.Type {
-	case transport.MsgWrite:
+	case transport.MsgWrite, transport.MsgMigrate:
 		return int64(len(r.Data))
 	case transport.MsgRead:
 		return r.Size
@@ -441,10 +470,18 @@ func (s *Server) worker() {
 func (s *Server) execute(req *transport.Request) *transport.Response {
 	resp := &transport.Response{Seq: req.Seq}
 	fail := func(err error) *transport.Response {
-		resp.Err = err.Error()
+		if errors.Is(err, fsys.ErrStaleLayout) {
+			// The layout-changed condition crosses the wire as a typed
+			// prefix, not prose: clients re-stat and retry on it.
+			resp.Err = transport.ErrStaleLayout
+		} else {
+			resp.Err = err.Error()
+		}
 		return resp
 	}
 	switch req.Type {
+	case transport.MsgMigrate:
+		return s.executeMigrate(req, resp, fail)
 	case transport.MsgCreate:
 		if err := s.router.CreateStriped(req.Path, req.Stripes, req.StripeUnit, req.StripeSet); err != nil {
 			// Open-or-create (POSIX O_CREAT without O_EXCL): an existing
@@ -455,26 +492,42 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 				return fail(err)
 			}
 		}
+		// A create whose recorded set diverges from the ring walk came
+		// from a client with a stale membership view (it dialed before
+		// the last join). No epoch move will ever revisit it, so the
+		// creation itself is the rebalance trigger — on the recorded
+		// set[0] only, since only the coordinator's plan can act on it.
+		if len(req.StripeSet) > 0 && req.StripeSet[0] == s.Addr() && !s.cfg.RebalanceDisabled {
+			ring := s.node.Membership().Ring()
+			if want := ring.LookupN(req.Path, max(1, req.Stripes)); !slices.Equal(req.StripeSet, want) {
+				s.migr.MarkDirty()
+			}
+		}
 	case transport.MsgOpen:
 		if _, err := s.router.Stat(req.Path); err != nil {
 			return fail(err)
 		}
+	// The data ops run against the shard directly with the client's
+	// layout generation checked inside the same critical section that
+	// resolves the entry — a separate check could pass against the old
+	// entry and then operate on the one a migration commit swapped in.
+	// The live server's router wraps exactly this one shard, so the
+	// shard ops are the router ops.
 	case transport.MsgWrite:
-		n, err := s.router.Write(req.Path, req.Data)
-		if err != nil {
+		if _, err := s.shard.AppendGen(req.Path, req.Data, req.LayoutGen); err != nil {
 			return fail(err)
 		}
-		resp.N = int64(n)
+		resp.N = int64(len(req.Data))
 	case transport.MsgRead:
 		buf := make([]byte, req.Size)
-		n, err := s.router.ReadAt(req.Path, req.Offset, buf)
+		n, err := s.shard.ReadAtGen(req.Path, req.Offset, buf, req.LayoutGen)
 		if err != nil {
 			return fail(err)
 		}
 		resp.N = int64(n)
 		resp.Data = buf[:n]
 	case transport.MsgStat:
-		fi, err := s.router.Stat(req.Path)
+		fi, err := s.shard.StatGen(req.Path, req.LayoutGen)
 		if err != nil {
 			return fail(err)
 		}
@@ -483,6 +536,7 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 		resp.Stripes = fi.Stripes
 		resp.StripeUnit = fi.StripeUnit
 		resp.StripeSet = fi.StripeSet
+		resp.LayoutGen = fi.LayoutGen
 	case transport.MsgMkdir:
 		if err := s.router.Mkdir(req.Path); err != nil {
 			return fail(err)
@@ -501,6 +555,48 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 	return resp
 }
 
+// executeMigrate runs one stripe-migration sub-op on the local shard.
+// The frames arrive through the scheduler under the coordinator's
+// rebalance job, so the sharing policy has already arbitrated them
+// against foreground traffic by the time they land here.
+func (s *Server) executeMigrate(req *transport.Request, resp *transport.Response, fail func(error) *transport.Response) *transport.Response {
+	switch req.MigrateOp {
+	case transport.MigrateSeal:
+		size, gen, err := s.shard.Seal(req.Path, req.LayoutGen)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Size, resp.Gen = size, gen
+	case transport.MigrateInstall:
+		if err := s.shard.MigrateInstall(req.Path, req.Offset, req.Data); err != nil {
+			return fail(err)
+		}
+	case transport.MigrateCommit:
+		if err := s.shard.MigrateCommit(req.Path, req.Stripes, req.StripeUnit, req.StripeSet, req.LayoutGen); err != nil {
+			return fail(err)
+		}
+		// The commit may have made this server the coordinator of a
+		// layout the ring wants moved again (multi-step growth); an
+		// unchanged epoch would never trigger that re-plan.
+		s.migr.MarkDirty()
+	case transport.MigrateAbort:
+		s.shard.MigrateAbort(req.Path)
+	case transport.MigrateUnseal:
+		s.shard.Unseal(req.Path)
+	case transport.MigrateUnsealTrim:
+		if err := s.shard.UnsealTrim(req.Path, req.Size); err != nil {
+			return fail(err)
+		}
+	case transport.MigrateDrop:
+		if s.shard.MigrateDrop(req.Path, req.Gen) {
+			resp.N = 1
+		}
+	default:
+		return fail(fmt.Errorf("server: unknown migrate op %d", req.MigrateOp))
+	}
+	return resp
+}
+
 // controller owns policy recompilation — the paper's controller role:
 // every λ it expires stale heartbeats, runs the gossip round (join
 // retried until a seed answers, so start order is free; then an epidemic
@@ -512,6 +608,7 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 func (s *Server) controller() {
 	defer s.wg.Done()
 	defer s.node.Close()
+	defer s.migr.Close()
 	tick := time.NewTicker(s.cfg.Lambda)
 	defer tick.Stop()
 	seeds := append(append([]string{}, s.cfg.Join...), s.cfg.Peers...)
@@ -537,6 +634,10 @@ func (s *Server) controller() {
 			}
 			s.recoverFailed()
 		}
+		if !s.cfg.RebalanceDisabled {
+			s.rebalanceTick()
+		}
+		s.shard.SweepMoved(movedRetention)
 		if g := s.table.Refresh(s.now()); g != lastGen {
 			lastGen = g
 			s.sched.SetJobs(s.table.ActiveSnapshot().Jobs)
@@ -581,6 +682,32 @@ func (s *Server) Flush() error {
 // Drainer exposes the stage-out engine for inspection (nil without a
 // backing store).
 func (s *Server) Drainer() *backing.Drainer { return s.drain }
+
+// Migrator exposes the rebalance coordinator for inspection and tests.
+func (s *Server) Migrator() *Migrator { return s.migr }
+
+// rebalanceTick launches one asynchronous rebalance pass if none is in
+// flight — like failover recovery, migration does real network and
+// device I/O and must not stall the controller's gossip/λ loop. The
+// pass itself returns immediately when the ring epoch has not moved.
+func (s *Server) rebalanceTick() {
+	if s.migr.running.Swap(true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.migr.running.Store(false)
+		s.migr.Pass()
+		s.migr.ZombieSweep()
+	}()
+}
+
+// movedRetention is how long a migrated-away path keeps answering
+// stale-layout before its marker is swept — far beyond every client
+// retry window, so the marker map stays bounded without ever cutting a
+// live retry short.
+const movedRetention = 5 * time.Minute
 
 // goneDone marks a departed member fully reconciled; recoverDelayTicks
 // is how many λ ticks a failure must age before adoption, so every

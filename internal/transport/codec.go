@@ -326,6 +326,9 @@ func appendRequest(b []byte, r *Request) []byte {
 	b = appendSvarint(b, int64(r.Stripes))
 	b = appendSvarint(b, r.StripeUnit)
 	b = appendStrings(b, r.StripeSet)
+	b = append(b, r.MigrateOp)
+	b = appendUvarint(b, r.Gen)
+	b = appendUvarint(b, r.LayoutGen)
 	b = appendString(b, r.From)
 	b = appendMembers(b, r.Members)
 	b = appendTable(b, r.Table)
@@ -349,6 +352,9 @@ func decodeRequest(b []byte, r *Request) error {
 	r.Stripes = int(d.svarint())
 	r.StripeUnit = d.svarint()
 	r.StripeSet = d.strs()
+	r.MigrateOp = d.u8()
+	r.Gen = d.uvarint()
+	r.LayoutGen = d.uvarint()
 	r.From = d.str()
 	r.Members = d.members()
 	r.Table = d.table()
@@ -366,6 +372,8 @@ func appendResponse(b []byte, r *Response) []byte {
 	b = appendSvarint(b, int64(r.Stripes))
 	b = appendSvarint(b, r.StripeUnit)
 	b = appendStrings(b, r.StripeSet)
+	b = appendUvarint(b, r.LayoutGen)
+	b = appendUvarint(b, r.Gen)
 	b = appendUvarint(b, r.Epoch)
 	b = appendMembers(b, r.Members)
 	b = appendTable(b, r.Table)
@@ -384,6 +392,8 @@ func decodeResponse(b []byte, r *Response) error {
 	r.Stripes = int(d.svarint())
 	r.StripeUnit = d.svarint()
 	r.StripeSet = d.strs()
+	r.LayoutGen = d.uvarint()
+	r.Gen = d.uvarint()
 	r.Epoch = d.uvarint()
 	r.Members = d.members()
 	r.Table = d.table()

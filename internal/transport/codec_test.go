@@ -28,6 +28,9 @@ func sampleRequest() *Request {
 		Stripes:    4,
 		StripeUnit: 256 << 10,
 		StripeSet:  []string{"a:1", "b:2", "c:3", "d:4"},
+		MigrateOp:  MigrateCommit,
+		Gen:        17,
+		LayoutGen:  3,
 		From:       "127.0.0.1:7777",
 	}
 }
@@ -60,7 +63,9 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 		got.Path != want.Path || got.Offset != want.Offset || got.Size != want.Size ||
 		string(got.Data) != string(want.Data) || got.Stripes != want.Stripes ||
 		got.StripeUnit != want.StripeUnit || len(got.StripeSet) != 4 ||
-		got.StripeSet[3] != "d:4" || got.From != want.From {
+		got.StripeSet[3] != "d:4" || got.From != want.From ||
+		got.MigrateOp != want.MigrateOp || got.Gen != want.Gen ||
+		got.LayoutGen != want.LayoutGen {
 		t.Fatalf("binary request round trip: %+v", got)
 	}
 	if !c2.recvBin || !c2.sendBin {
@@ -70,7 +75,7 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 	wantResp := &Response{
 		Seq: 99, N: 5, Data: []byte{9, 8}, Size: 123, IsDir: true,
 		Names: []string{"x", "y"}, Stripes: 2, StripeUnit: 1 << 20,
-		StripeSet: []string{"a:1", "b:2"}, Epoch: 7,
+		StripeSet: []string{"a:1", "b:2"}, LayoutGen: 4, Gen: 21, Epoch: 7,
 		Members: []MemberRecord{{Addr: "a:1", State: 2, Incarnation: 11}},
 	}
 	go func() {
@@ -85,7 +90,8 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 	if gotResp.Seq != 99 || gotResp.N != 5 || string(gotResp.Data) != string(wantResp.Data) ||
 		!gotResp.IsDir || gotResp.Size != 123 || len(gotResp.Names) != 2 ||
 		gotResp.Epoch != 7 || len(gotResp.Members) != 1 ||
-		gotResp.Members[0].Incarnation != 11 || len(gotResp.StripeSet) != 2 {
+		gotResp.Members[0].Incarnation != 11 || len(gotResp.StripeSet) != 2 ||
+		gotResp.LayoutGen != 4 || gotResp.Gen != 21 {
 		t.Fatalf("binary response round trip: %+v", gotResp)
 	}
 	if !c1.recvBin {

@@ -33,6 +33,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,13 +72,55 @@ const (
 	// traffic itself still goes through the token scheduler under the
 	// stage-out job — a flush forces completeness, not priority.
 	MsgFlush
+
+	// MsgMigrate is the server↔server stripe-migration protocol of
+	// join-time rebalancing. The MigrateOp field selects the sub-op
+	// (seal/install/commit/abort/drop); the frames carry the rebalance
+	// job identity and are scheduled through the receiving server's
+	// token draw like any write, so the sharing policy arbitrates
+	// migration bandwidth against foreground I/O.
+	MsgMigrate
+
+	// MsgRebalanceStatus is the operator query for a server's migration
+	// progress (themisctl rebalance status).
+	MsgRebalanceStatus
+)
+
+// Migration sub-ops carried in Request.MigrateOp for MsgMigrate.
+const (
+	// MigrateSeal write-freezes the local stripe of a file about to
+	// move; reads keep working. The reply reports the frozen local size
+	// (Size) and the entry's creation generation (Gen).
+	MigrateSeal uint8 = iota
+	// MigrateInstall appends a chunk of the file's new local stripe to
+	// the receiving server's pending (not yet visible) migration buffer.
+	MigrateInstall
+	// MigrateCommit atomically replaces/creates the live entry from the
+	// pending buffer under the new layout (Stripes/StripeUnit/StripeSet/
+	// LayoutGen), marking it dirty so it restages.
+	MigrateCommit
+	// MigrateAbort discards the pending buffer (failed migration).
+	MigrateAbort
+	// MigrateDrop removes a stale local stripe after cutover,
+	// generation-checked (Gen) so a concurrent unlink/recreate of the
+	// path is never clobbered, and leaves a moved marker so late
+	// old-layout clients get ErrStaleLayout instead of ErrNotExist.
+	MigrateDrop
+	// MigrateUnseal lifts a seal after an aborted migration.
+	MigrateUnseal
+	// MigrateUnsealTrim lifts a seal after truncating the local stripe
+	// to Size bytes — the abort path when the seal phase raced a
+	// striped write and left unacknowledged torn bytes beyond the
+	// consistent round-robin prefix.
+	MigrateUnsealTrim
 )
 
 // String names the message type.
 func (m MsgType) String() string {
 	names := []string{"open", "create", "read", "write", "close", "stat",
 		"mkdir", "readdir", "unlink", "heartbeat", "bye", "sync",
-		"gossip", "join", "leave", "cluster-status", "drain", "flush"}
+		"gossip", "join", "leave", "cluster-status", "drain", "flush",
+		"migrate", "rebalance-status"}
 	if int(m) < len(names) {
 		return names[m]
 	}
@@ -113,6 +156,20 @@ type Request struct {
 	StripeUnit int64
 	StripeSet  []string
 
+	// MigrateOp selects the MsgMigrate sub-op (MigrateSeal & friends).
+	MigrateOp uint8
+	// Gen is the expected creation generation for generation-checked
+	// migration ops (MigrateDrop): a concurrent unlink/recreate bumps
+	// the entry's generation and the stale op becomes a no-op.
+	Gen uint64
+	// LayoutGen is, on MsgRead/MsgWrite, the client's cached layout
+	// generation of the file (zero = unchecked, the legacy behaviour):
+	// a server whose entry has a different layout generation answers
+	// ErrStaleLayout so the client re-stats instead of silently reading
+	// or writing re-striped bytes. On MigrateCommit it is the new
+	// layout generation being installed.
+	LayoutGen uint64
+
 	// Table carries job status entries for MsgSync and MsgGossip.
 	Table []jobtable.Entry
 
@@ -139,6 +196,12 @@ type Response struct {
 	Stripes    int
 	StripeUnit int64
 	StripeSet  []string
+	// LayoutGen is the entry's layout generation (stat replies; clients
+	// cache it and echo it on reads and writes). Gen is the entry's
+	// creation generation (MigrateSeal replies; the coordinator uses it
+	// for generation-checked cutover).
+	LayoutGen uint64
+	Gen       uint64
 
 	// Pull half of a gossip exchange (MsgGossip/MsgJoin replies), and
 	// the MsgClusterStatus answer.
@@ -153,6 +216,33 @@ func (r *Response) Error() error {
 		return nil
 	}
 	return fmt.Errorf("%s", r.Err)
+}
+
+// ErrStaleLayout is the wire form of the layout-changed condition: the
+// addressed server no longer holds (or no longer holds under the
+// client's cached layout) the file's data, because join-time
+// rebalancing moved or re-striped it. Clients that see it re-stat the
+// path to learn the new layout and retry; it is a routing condition,
+// not a data error. The string is the protocol contract — both codecs
+// carry errors as strings, so the prefix is what survives the wire.
+const ErrStaleLayout = "stale-layout: file layout changed, re-stat"
+
+// IsStaleLayout reports whether err is the wire-carried stale-layout
+// condition. Matched anywhere in the message, not just as a prefix:
+// intermediate layers (the client's write-repair path, for one) wrap
+// the server string with context, and a wrapped stale answer must stay
+// recognizably retryable.
+func IsStaleLayout(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "stale-layout:")
+}
+
+// IsNotExist reports whether err carries the server's missing-entry
+// condition (fsys.ErrNotExist's message; both codecs carry errors as
+// strings). The one place the prose is matched — callers deciding
+// merge-tolerance or mid-cutover retries must not each hard-code the
+// wording.
+func IsNotExist(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no such file or directory")
 }
 
 // binMagic announces the binary codec at the start of a stream. The
