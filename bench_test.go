@@ -436,3 +436,16 @@ func BenchmarkSchedulers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPolicySwapSharing runs the live policy hot-swap sweep: a
+// mid-flood policy flip, a flip during a rebalance, and a straggling
+// member, each reporting the measured-vs-compiled share residuals the
+// fairness CI gate bounds at ±0.02.
+func BenchmarkPolicySwapSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.PolicySwap()
+		reportMetrics(b, res,
+			"swap_post_share", "swap_post_residual",
+			"rebalance_post_residual", "straggler_ledger_residual")
+	}
+}

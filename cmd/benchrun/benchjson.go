@@ -1,0 +1,125 @@
+// Bench-trajectory mode: run the repository's micro-benchmark smoke
+// set through `go test -bench` and distill the standard benchmark
+// output into a machine-readable JSON file (ns/op, MB/s, B/op,
+// allocs/op, plus any custom b.ReportMetric units like the sharing
+// residuals). CI runs this at -benchtime=100x and uploads the file as
+// a workflow artifact, so every PR leaves a perf baseline the next one
+// can diff against instead of a green checkmark and no numbers.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's distilled result line.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. the policy-swap
+	// sharing residuals), keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchFile is the trajectory file schema.
+type BenchFile struct {
+	GoVersion string        `json:"go_version"`
+	GoOS      string        `json:"go_os"`
+	GoArch    string        `json:"go_arch"`
+	Benchtime string        `json:"benchtime"`
+	Pattern   string        `json:"pattern"`
+	Results   []BenchResult `json:"results"`
+}
+
+// runBenchJSON executes the benchmarks matching pattern in each
+// package and writes the JSON trajectory to w. Benchmark failures are
+// reported, not swallowed: a bench set that no longer runs must fail
+// the CI step, or the trajectory silently goes stale.
+func runBenchJSON(w io.Writer, pattern, benchtime string, pkgs []string) error {
+	out := BenchFile{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Benchtime: benchtime,
+		Pattern:   pattern,
+	}
+	for _, pkg := range pkgs {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern, "-benchtime", benchtime, "-benchmem", "-short", pkg)
+		raw, err := cmd.CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("benchrun: %s: %v\n%s", pkg, err, raw)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if r, ok := parseBenchLine(pkg, line); ok {
+				out.Results = append(out.Results, r)
+			}
+		}
+	}
+	if len(out.Results) == 0 {
+		return fmt.Errorf("benchrun: pattern %q matched no benchmarks in %v", pattern, pkgs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// parseBenchLine distills one `go test -bench` result line, e.g.
+//
+//	BenchmarkCodec/write-64KiB-8  100  5208 ns/op  12590.54 MB/s  360 B/op  5 allocs/op
+//
+// Lines that are not benchmark results (goos/pkg banners, PASS, ok)
+// report false. The trailing -N GOMAXPROCS suffix is stripped from the
+// name; value/unit pairs beyond the iteration count are keyed by unit,
+// with unrecognized units kept in Extra.
+func parseBenchLine(pkg, line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := BenchResult{Name: name, Pkg: pkg, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, seen
+}

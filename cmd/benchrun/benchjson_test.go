@@ -1,0 +1,66 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		want BenchResult
+	}{
+		{
+			line: "BenchmarkThemisContended-8   \t 5000000 \t 220.5 ns/op",
+			ok:   true,
+			want: BenchResult{Name: "BenchmarkThemisContended", Iterations: 5000000, NsPerOp: 220.5},
+		},
+		{
+			line: "BenchmarkCodec/write-64KiB-8  100  5208 ns/op  12590.54 MB/s  360 B/op  5 allocs/op",
+			ok:   true,
+			want: BenchResult{
+				Name: "BenchmarkCodec/write-64KiB", Iterations: 100,
+				NsPerOp: 5208, MBPerS: 12590.54, BytesPerOp: 360, AllocsPerOp: 5,
+			},
+		},
+		{
+			// Custom b.ReportMetric units land in Extra.
+			line: "BenchmarkPolicySwapSharing  1  267833660 ns/op  0.7514 swap_post_share  0.0014 swap_post_residual",
+			ok:   true,
+			want: BenchResult{
+				Name: "BenchmarkPolicySwapSharing", Iterations: 1, NsPerOp: 267833660,
+				Extra: map[string]float64{"swap_post_share": 0.7514, "swap_post_residual": 0.0014},
+			},
+		},
+		// Non-result lines are rejected.
+		{line: "goos: linux"},
+		{line: "pkg: themisio"},
+		{line: "PASS"},
+		{line: "ok  \tthemisio\t0.272s"},
+		{line: ""},
+		{line: "BenchmarkBroken notanumber ns/op"},
+	}
+	for _, tc := range cases {
+		got, ok := parseBenchLine("themisio", tc.line)
+		if ok != tc.ok {
+			t.Errorf("parse(%q) ok=%v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.Name != tc.want.Name || got.Iterations != tc.want.Iterations ||
+			math.Abs(got.NsPerOp-tc.want.NsPerOp) > 1e-9 ||
+			math.Abs(got.MBPerS-tc.want.MBPerS) > 1e-9 ||
+			got.BytesPerOp != tc.want.BytesPerOp || got.AllocsPerOp != tc.want.AllocsPerOp ||
+			got.Pkg != "themisio" {
+			t.Errorf("parse(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+		for k, v := range tc.want.Extra {
+			if math.Abs(got.Extra[k]-v) > 1e-9 {
+				t.Errorf("parse(%q) Extra[%s] = %v, want %v", tc.line, k, got.Extra[k], v)
+			}
+		}
+	}
+}

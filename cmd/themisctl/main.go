@@ -15,6 +15,8 @@
 //	themisctl -servers 127.0.0.1:7001 cluster drain
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 rebalance status
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 flush
+//	themisctl -servers 127.0.0.1:7000 policy set size-fair
+//	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 policy status
 //
 // `cluster status` prints the membership table as seen by the first
 // server; `cluster drain` asks that server to stop owning ring segments
@@ -23,13 +25,25 @@
 // forces every listed server to stage all dirty data out to its
 // backing store before returning (the durability barrier to run before
 // maintenance).
+//
+// `policy set` installs a new cluster-wide sharing policy through the
+// first listed server — the live hot-swap: the policy epoch bumps,
+// gossip carries the new version to every member, and each server
+// recompiles at its next λ without a restart or a dropped request.
+// `policy status` prints, per listed server, the policy it is
+// enforcing (string + applied epoch) and each sharing entity's
+// compiled token share versus measured serviced-byte share with the
+// convergence residual. See docs/OPERATIONS.md for the runbook.
+//
+// Every subcommand exits non-zero when its RPC fails — an unreachable
+// server, a refused drain, an unparseable policy string — so shell
+// scripts and CI steps can gate on it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"strings"
@@ -42,56 +56,102 @@ import (
 )
 
 func main() {
-	servers := flag.String("servers", "127.0.0.1:7000", "comma-separated server addresses")
-	jobID := flag.String("job", "themisctl", "job id embedded in requests")
-	user := flag.String("user", "operator", "user id")
-	group := flag.String("group", "staff", "group id")
-	nodes := flag.Int("nodes", 1, "job size in nodes")
-	stripes := flag.Int("stripes", 1, "servers each file's data spans")
-	stripeUnit := flag.Int64("stripe-unit", 0, "bytes per stripe chunk (0 = default)")
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, executes one
+// subcommand, and returns the process exit code (0 success, 1 a failed
+// RPC or file operation, 2 a usage error). Every error is printed to
+// stderr — including the typed wire errors a server answers with — so
+// a failing CI script shows why.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("themisctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	servers := fs.String("servers", "127.0.0.1:7000", "comma-separated server addresses")
+	jobID := fs.String("job", "themisctl", "job id embedded in requests")
+	user := fs.String("user", "operator", "user id")
+	group := fs.String("group", "staff", "group id")
+	nodes := fs.Int("nodes", 1, "job size in nodes")
+	stripes := fs.Int("stripes", 1, "servers each file's data spans")
+	stripeUnit := fs.Int64("stripe-unit", 0, "bytes per stripe chunk (0 = default)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
 	addrs := strings.Split(*servers, ",")
+
+	fail := func(context string, err error) int {
+		fmt.Fprintf(stderr, "themisctl: %s: %v\n", context, err)
+		return 1
+	}
+	usage := func(context string, err error) int {
+		fmt.Fprintf(stderr, "themisctl: %s: %v\n", context, err)
+		return 2
+	}
 
 	if len(args) == 1 && args[0] == "flush" {
 		for _, addr := range addrs {
 			if err := flushCmd(addr); err != nil {
-				log.Fatalf("themisctl: flush %s: %v", addr, err)
+				return fail("flush "+addr, err)
 			}
-			fmt.Printf("%s\tflushed\n", addr)
+			fmt.Fprintf(stdout, "%s\tflushed\n", addr)
 		}
-		return
+		return 0
 	}
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr,
-			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | flush")
-		os.Exit(2)
+		fmt.Fprintln(stderr,
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | policy {set STRING|status} | flush")
+		return 2
 	}
 	cmd, path := args[0], args[1]
 
-	if cmd == "cluster" {
-		if err := clusterCmd(addrs[0], path); err != nil {
-			log.Fatalf("themisctl: cluster %s: %v", path, err)
+	switch cmd {
+	case "cluster":
+		if err := clusterCmd(stdout, addrs[0], path); err != nil {
+			return fail("cluster "+path, err)
 		}
-		return
-	}
-	if cmd == "rebalance" {
+		return 0
+	case "rebalance":
 		if path != "status" {
-			log.Fatalf("themisctl: rebalance: unknown subcommand %q (want status)", path)
+			return usage("rebalance", fmt.Errorf("unknown subcommand %q (want status)", path))
 		}
 		for _, addr := range addrs {
-			if err := rebalanceStatusCmd(addr); err != nil {
-				log.Fatalf("themisctl: rebalance status %s: %v", addr, err)
+			if err := rebalanceStatusCmd(stdout, addr); err != nil {
+				return fail("rebalance status "+addr, err)
 			}
 		}
-		return
+		return 0
+	case "policy":
+		switch path {
+		case "set":
+			if len(args) < 3 {
+				return usage("policy set", fmt.Errorf("missing policy string"))
+			}
+			if err := policySetCmd(stdout, addrs[0], args[2]); err != nil {
+				return fail("policy set "+args[2], err)
+			}
+			return 0
+		case "status":
+			for _, addr := range addrs {
+				if err := policyStatusCmd(stdout, addr); err != nil {
+					return fail("policy status "+addr, err)
+				}
+			}
+			return 0
+		default:
+			return usage("policy", fmt.Errorf("unknown subcommand %q (want set or status)", path))
+		}
+	case "put", "get", "ls", "stat", "rm", "mkdir":
+		// Data commands, handled below after dialing.
+	default:
+		return usage(cmd, fmt.Errorf("unknown command"))
 	}
 
 	c, err := client.DialOpts(policy.JobInfo{
 		JobID: *jobID, UserID: *user, GroupID: *group, Nodes: *nodes,
 	}, addrs, client.Options{Stripes: *stripes, StripeUnit: *stripeUnit})
 	if err != nil {
-		log.Fatalf("themisctl: %v", err)
+		return fail(cmd+" "+path, err)
 	}
 	defer c.Close()
 
@@ -100,7 +160,7 @@ func main() {
 		err = c.Mkdir(path)
 	case "put":
 		var data []byte
-		data, err = io.ReadAll(os.Stdin)
+		data, err = io.ReadAll(stdin)
 		if err != nil {
 			break
 		}
@@ -120,9 +180,16 @@ func main() {
 		for {
 			n, rerr := c.Read(fd, buf)
 			if n > 0 {
-				os.Stdout.Write(buf[:n])
+				stdout.Write(buf[:n])
 			}
-			if rerr != nil || n == 0 {
+			if rerr != nil {
+				// A mid-stream read error used to be swallowed here: the
+				// command printed a truncated file and exited 0, so a
+				// script could never tell a short get from a whole one.
+				err = rerr
+				break
+			}
+			if n == 0 {
 				break
 			}
 		}
@@ -130,7 +197,7 @@ func main() {
 		var names []string
 		names, err = c.Readdir(path)
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
 	case "stat":
 		var size int64
@@ -141,28 +208,30 @@ func main() {
 			if isDir {
 				kind = "dir"
 			}
-			fmt.Printf("%s\t%s\t%d bytes\n", path, kind, size)
+			fmt.Fprintf(stdout, "%s\t%s\t%d bytes\n", path, kind, size)
 		}
 	case "rm":
 		err = c.Unlink(path)
-	default:
-		err = fmt.Errorf("unknown command %q", cmd)
 	}
 	if err != nil {
-		log.Fatalf("themisctl: %s %s: %v", cmd, path, err)
+		return fail(cmd+" "+path, err)
 	}
+	return 0
 }
 
 // controlExchange performs one control request/response round trip with
 // a server (the operator commands bypass the client library).
-func controlExchange(addr string, typ transport.MsgType) (*transport.Response, error) {
+func controlExchange(addr string, req *transport.Request) (*transport.Response, error) {
 	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	conn := transport.NewConn(raw)
 	defer conn.Close()
-	if err := conn.SendRequest(&transport.Request{Type: typ, Seq: 1}); err != nil {
+	if req.Seq == 0 {
+		req.Seq = 1
+	}
+	if err := conn.SendRequest(req); err != nil {
 		return nil, err
 	}
 	resp, err := conn.RecvResponse()
@@ -178,7 +247,7 @@ func controlExchange(addr string, typ transport.MsgType) (*transport.Response, e
 // flushCmd forces one server to stage out every dirty byte. The wait is
 // bounded server-side by its flush timeout.
 func flushCmd(addr string) error {
-	_, err := controlExchange(addr, transport.MsgFlush)
+	_, err := controlExchange(addr, &transport.Request{Type: transport.MsgFlush})
 	return err
 }
 
@@ -186,20 +255,53 @@ func flushCmd(addr string) error {
 // lifetime files/bytes moved, error and pending counts, and the ring
 // epoch the server's layouts were last reconciled against (compare
 // with `cluster status`'s epoch — equal means settled).
-func rebalanceStatusCmd(addr string) error {
-	resp, err := controlExchange(addr, transport.MsgRebalanceStatus)
+func rebalanceStatusCmd(w io.Writer, addr string) error {
+	resp, err := controlExchange(addr, &transport.Request{Type: transport.MsgRebalanceStatus})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s\treconciled-epoch %d\n", addr, resp.Epoch)
+	fmt.Fprintf(w, "%s\treconciled-epoch %d\n", addr, resp.Epoch)
 	for _, line := range resp.Names {
-		fmt.Printf("%s\t%s\n", addr, line)
+		fmt.Fprintf(w, "%s\t%s\n", addr, line)
+	}
+	return nil
+}
+
+// policySetCmd installs a new cluster-wide sharing policy through one
+// member. The member validates the string, so a typo comes back as the
+// parser's error before anything changes anywhere.
+func policySetCmd(w io.Writer, addr, policyStr string) error {
+	resp, err := controlExchange(addr, &transport.Request{
+		Type: transport.MsgPolicySet, PolicyStr: policyStr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\tpolicy %s\tepoch %d\n", addr, resp.PolicyStr, resp.PolicyEpoch)
+	return nil
+}
+
+// policyStatusCmd prints one server's enforced policy and per-entity
+// fairness report: compiled token share vs measured serviced-byte
+// share with the convergence residual, per job, user and group. After
+// a `policy set`, every server converging to the new epoch with small
+// residuals is the live signal the swap has landed.
+func policyStatusCmd(w io.Writer, addr string) error {
+	resp, err := controlExchange(addr, &transport.Request{Type: transport.MsgShareReport})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\tpolicy %s\tapplied-epoch %d\tscheduler-epoch %d\n",
+		addr, resp.PolicyStr, resp.PolicyEpoch, resp.Epoch)
+	for _, s := range resp.Shares {
+		fmt.Fprintf(w, "%s\t%-5s %-24s compiled %.3f measured %.3f residual %+.3f (%d bytes)\n",
+			addr, s.Kind, s.ID, s.Compiled, s.Measured, s.Residual(), s.Bytes)
 	}
 	return nil
 }
 
 // clusterCmd talks the fabric control protocol directly to one server.
-func clusterCmd(addr, sub string) error {
+func clusterCmd(w io.Writer, addr, sub string) error {
 	var typ transport.MsgType
 	switch sub {
 	case "status":
@@ -209,13 +311,13 @@ func clusterCmd(addr, sub string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q (want status or drain)", sub)
 	}
-	resp, err := controlExchange(addr, typ)
+	resp, err := controlExchange(addr, &transport.Request{Type: typ})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("epoch %d, %d members (as seen by %s)\n", resp.Epoch, len(resp.Members), addr)
+	fmt.Fprintf(w, "epoch %d, %d members (as seen by %s)\n", resp.Epoch, len(resp.Members), addr)
 	for _, m := range cluster.FromRecords(resp.Members) {
-		fmt.Printf("%s\t%s\tincarnation %d\n", m.Addr, m.State, m.Incarnation)
+		fmt.Fprintf(w, "%s\t%s\tincarnation %d\n", m.Addr, m.State, m.Incarnation)
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"themisio/internal/policy"
+	"themisio/internal/server"
+)
+
+// deadAddr returns an address nothing is listening on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Every subcommand must exit non-zero and print the error when its RPC
+// fails against an unreachable server — the regression that used to
+// let CI scripts treat a dead cluster as success.
+func TestExitCodeOnUnreachableServer(t *testing.T) {
+	addr := deadAddr(t)
+	cases := [][]string{
+		{"-servers", addr, "cluster", "status"},
+		{"-servers", addr, "cluster", "drain"},
+		{"-servers", addr, "rebalance", "status"},
+		{"-servers", addr, "flush"},
+		{"-servers", addr, "policy", "set", "size-fair"},
+		{"-servers", addr, "policy", "status"},
+		{"-servers", addr, "stat", "/x"},
+		{"-servers", addr, "put", "/x"},
+		{"-servers", addr, "get", "/x"},
+		{"-servers", addr, "ls", "/"},
+		{"-servers", addr, "rm", "/x"},
+		{"-servers", addr, "mkdir", "/d"},
+	}
+	for _, argv := range cases {
+		var out, errOut bytes.Buffer
+		code := run(argv, strings.NewReader(""), &out, &errOut)
+		if code == 0 {
+			t.Errorf("%v exited 0 against an unreachable server", argv)
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("%v printed no error", argv)
+		}
+	}
+}
+
+// Usage errors exit 2.
+func TestExitCodeOnUsageErrors(t *testing.T) {
+	for _, argv := range [][]string{
+		{},
+		{"-no-such-flag"},
+		{"stat"},               // missing path
+		{"no-such-cmd", "/x"},  // unknown command
+		{"rebalance", "bogus"}, // unknown subcommand
+		{"policy", "bogus"},    // unknown subcommand
+		{"policy", "set"},      // missing policy string
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(argv, strings.NewReader(""), &out, &errOut); code != 2 {
+			t.Errorf("%v exited %d, want 2", argv, code)
+		}
+	}
+}
+
+// Against a live server: policy set round-trips the canonical string
+// and epoch, a bad policy string is refused with the parser's typed
+// error and a non-zero exit, and policy status prints the report.
+func TestPolicyCommandsLive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(ln, server.Config{Policy: policy.SizeFair, Quiet: true})
+	go srv.Serve()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-servers", addr, "policy", "set", "user-then-size-fair"},
+		strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("policy set exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "user-then-size-fair") || !strings.Contains(out.String(), "epoch 1") {
+		t.Fatalf("policy set output: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-servers", addr, "policy", "set", "totally-bogus"},
+		strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("bogus policy string must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), "policy") {
+		t.Fatalf("bogus policy error output: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-servers", addr, "policy", "status"},
+		strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("policy status exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "policy size-fair") {
+		// The set above is applied at the next λ (500 ms default); right
+		// after boot the server still reports its boot policy string.
+		t.Fatalf("policy status output: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-servers", addr, "cluster", "status"},
+		strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("cluster status exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 members") {
+		t.Fatalf("cluster status output: %q", out.String())
+	}
+}

@@ -20,7 +20,8 @@
 //     regenerates every figure of the paper's evaluation, with fabric
 //     and stage-out mirrors
 //   - internal/cluster  — the multi-server fabric: membership
-//     (join/leave/drain/fail), gossip-based λ-sync, and failover
+//     (join/leave/drain/fail), gossip-based λ-sync, failover, and the
+//     epoch-versioned cluster-wide policy rumor behind live hot-swap
 //   - internal/backing  — stage-out durability: the backing-store
 //     interface, the policy-governed drain engine, and crash/failover
 //     re-hydration
@@ -32,7 +33,8 @@
 //   - internal/workload — the request streams of the paper's evaluation
 //     (IOR runs, write/read cycles, stat storms)
 //   - internal/metrics  — binned throughput series and summary statistics
-//     behind every measurement
+//     behind every measurement, plus the λ-windowed per-entity share
+//     ledger (compiled vs measured shares) behind `policy status`
 //   - internal/sim      — the discrete-event engine under the simulator
 //   - internal/apptrace — the §5 application I/O traces (NAMD, WRF, ...)
 //   - internal/experiments — one runner per paper table/figure

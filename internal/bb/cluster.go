@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"themisio/internal/jobtable"
+	"themisio/internal/metrics"
+	"themisio/internal/policy"
 	"themisio/internal/sched"
 	"themisio/internal/sim"
 )
@@ -120,6 +122,9 @@ func NewCluster(cfg Config) *Cluster {
 			table: jobtable.New(id, cfg.HeartbeatTimeout),
 		})
 	}
+	for _, s := range c.servers {
+		s.ledger = metrics.NewShareLedger(0)
+	}
 	// Service tick loop.
 	var tick func()
 	tick = func() {
@@ -130,11 +135,71 @@ func NewCluster(cfg Config) *Cluster {
 		c.eng.At(now+cfg.Tick, tick)
 	}
 	c.eng.At(0, tick)
-	// λ-delayed global fairness: all-gather the job status tables.
+	// λ-delayed global fairness: all-gather the job status tables, then
+	// close each server's share-accounting window (mirroring the live
+	// controller's λ loop: recompiles happen before the window closes,
+	// so the compiled shares paired with it are the ones in force).
 	c.eng.Every(cfg.Lambda, func() {
 		c.SyncTables()
+		c.rollLedgers()
 	})
 	return c
+}
+
+// policyControl is the slice of core.Themis the simulator mirrors for
+// live policy hot-swap; shareAccounting the slice the λ share ledger
+// feeds from. Baseline schedulers (FIFO, GIFT, TBF) implement neither
+// and are simply skipped.
+type policyControl interface{ SetPolicy(policy.Policy) }
+
+type shareAccounting interface {
+	ServedBytes() map[string]int64
+	Share(job string) float64
+}
+
+// SwapPolicy schedules a live policy hot-swap at virtual time at: each
+// live server's scheduler recompiles under pol at at + i·stagger. A
+// zero stagger is an instantaneous cluster-wide swap; a positive one
+// models the gossip rumor reaching members round by round (the
+// straggler scenario — the last server keeps arbitrating under the old
+// policy until the rumor lands, exactly like a live member that missed
+// the first fan-outs and learns via gossip catch-up).
+func (c *Cluster) SwapPolicy(at time.Duration, pol policy.Policy, stagger time.Duration) {
+	for i := range c.servers {
+		i := i
+		c.eng.At(at+time.Duration(i)*stagger, func() {
+			s := c.servers[i]
+			if s.failed {
+				return
+			}
+			if sw, ok := s.sch.(policyControl); ok {
+				sw.SetPolicy(pol)
+			}
+		})
+	}
+}
+
+// rollLedgers closes one λ share-accounting window on every live
+// server whose scheduler exposes serviced-byte counters.
+func (c *Cluster) rollLedgers() {
+	now := c.eng.Now()
+	for _, s := range c.servers {
+		if s.failed {
+			continue
+		}
+		sa, ok := s.sch.(shareAccounting)
+		if !ok {
+			continue
+		}
+		s.ledger.Roll(now, sa.ServedBytes(), s.table.Active(now), sa.Share)
+	}
+}
+
+// ShareReport returns server i's latest per-entity share report — the
+// sim mirror of MsgShareReport (nil for baseline schedulers or before
+// the first non-idle λ window).
+func (c *Cluster) ShareReport(i int) []metrics.ShareEntry {
+	return c.servers[i].ledger.Report()
 }
 
 // Engine exposes the discrete-event engine (for app traces and tests).
@@ -339,6 +404,9 @@ type server struct {
 	lastGen uint64
 	dirty   bool
 	failed  bool
+	// ledger mirrors the live server's per-entity share accounting,
+	// rolled every λ from the scheduler's serviced-byte counters.
+	ledger *metrics.ShareLedger
 
 	// parked holds requests whose service straddles tick boundaries
 	// (budget for their direction ran out); they are served ahead of the

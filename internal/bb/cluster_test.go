@@ -242,3 +242,62 @@ func TestFailServerShiftsLoad(t *testing.T) {
 		t.Fatal("redirected request never completed")
 	}
 }
+
+// SwapPolicy is the sim mirror of the live hot-swap: the scheduler
+// recompiles mid-run with queues intact, measured shares follow the
+// new policy, and the λ share ledger (the ShareReport mirror) pairs
+// measured shares with the compiled shares now in force.
+func TestSwapPolicyAndShareReport(t *testing.T) {
+	const end = 8 * time.Second
+	c := NewCluster(Config{Servers: 1, NewSched: themisFactory(policy.JobFair, 3)})
+	j1 := job("j1", "u1", "g1", 3)
+	j2 := job("j2", "u2", "g2", 1)
+	for _, j := range []policy.JobInfo{j1, j2} {
+		for i := 0; i < 6; i++ {
+			c.AddProc(Proc{
+				Job:    j,
+				Stream: workload.IORLoop(sched.OpWrite, 2*workload.MB),
+				Stop:   end,
+			})
+		}
+	}
+	c.SwapPolicy(4*time.Second, policy.SizeFair, 0)
+	c.Run(end)
+
+	share := func(from, to time.Duration) float64 {
+		a := c.Meter().MeanRate("j1", from, to)
+		b := c.Meter().MeanRate("j2", from, to)
+		return a / (a + b)
+	}
+	if s := share(1*time.Second, 3*time.Second); s < 0.45 || s > 0.55 {
+		t.Fatalf("pre-swap job-fair share = %.3f, want ~0.5", s)
+	}
+	if s := share(6*time.Second, 8*time.Second); s < 0.70 || s > 0.80 {
+		t.Fatalf("post-swap size-fair share = %.3f, want ~0.75", s)
+	}
+
+	rep := c.ShareReport(0)
+	if len(rep) == 0 {
+		t.Fatal("no share report after a busy run")
+	}
+	seen := map[string]bool{}
+	for _, e := range rep {
+		seen[e.Kind+"/"+e.ID] = true
+		if e.Kind == "job" && (e.ID == "j1" || e.ID == "j2") {
+			if r := e.Residual(); r < -0.05 || r > 0.05 {
+				t.Errorf("%s ledger residual = %+.3f under the post-swap policy", e.ID, r)
+			}
+		}
+	}
+	for _, want := range []string{"job/j1", "job/j2", "user/u1", "user/u2", "group/g1", "group/g2"} {
+		if !seen[want] {
+			t.Errorf("share report missing entity %s", want)
+		}
+	}
+	// The compiled shares in the report are the post-swap ones.
+	for _, e := range rep {
+		if e.Kind == "user" && e.ID == "u1" && (e.Compiled < 0.7 || e.Compiled > 0.8) {
+			t.Errorf("u1 compiled share after swap = %.3f, want 0.75", e.Compiled)
+		}
+	}
+}

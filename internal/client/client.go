@@ -1163,12 +1163,10 @@ func (c *Client) statAny(path string) *transport.Response {
 	return nil
 }
 
-// broadcast sends the request to every server and collects responses.
-// Directory metadata is replicated on all servers so that any server can
-// validate parents locally, matching §4.3's "directories and files are
-// stored as files" with directory content spread across servers.
-func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transport.Response, error) {
-	var out []*transport.Response
+// sortedConns snapshots the live connections in address order — the
+// iteration every broadcast-style method (Mkdir/Readdir/Flush,
+// SetPolicy, ShareReports) shares.
+func (c *Client) sortedConns() []*serverConn {
 	c.mu.Lock()
 	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
@@ -1176,7 +1174,16 @@ func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transp
 	}
 	c.mu.Unlock()
 	sort.Slice(conns, func(i, j int) bool { return conns[i].addr < conns[j].addr })
-	for _, sc := range conns {
+	return conns
+}
+
+// broadcast sends the request to every server and collects responses.
+// Directory metadata is replicated on all servers so that any server can
+// validate parents locally, matching §4.3's "directories and files are
+// stored as files" with directory content spread across servers.
+func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transport.Response, error) {
+	var out []*transport.Response
+	for _, sc := range c.sortedConns() {
 		req := mk()
 		req.Seq = c.seq.Add(1)
 		req.Job = c.job
@@ -1208,6 +1215,70 @@ func (c *Client) Flush() error {
 		}
 	}
 	return nil
+}
+
+// SetPolicy installs a new cluster-wide sharing policy through any
+// live server — the client face of the live hot-swap. The contacted
+// member validates the policy string, bumps the cluster policy epoch,
+// and gossip carries the new version to every other member; each
+// server recompiles at its next λ with no restart and no dropped
+// request. Returns the canonical policy string and the new epoch.
+func (c *Client) SetPolicy(policyStr string) (string, uint64, error) {
+	var lastErr error = fmt.Errorf("client: no servers left")
+	for _, sc := range c.sortedConns() {
+		resp, err := sc.call(&transport.Request{
+			Type: transport.MsgPolicySet, Seq: c.seq.Add(1), Job: c.job,
+			PolicyStr: policyStr,
+		})
+		if err != nil {
+			c.markFailed(sc.addr)
+			lastErr = err
+			continue
+		}
+		if resp.Err != "" {
+			// An application error (an unparseable policy string) is the
+			// same on every member; do not retry it around the ring.
+			return "", 0, resp.Error()
+		}
+		return resp.PolicyStr, resp.PolicyEpoch, nil
+	}
+	return "", 0, lastErr
+}
+
+// ShareReport is one server's per-entity fairness report: the policy
+// it is enforcing (string + applied cluster policy epoch) and each
+// sharing entity's compiled token share versus measured serviced-byte
+// share over the server's λ-windowed horizon.
+type ShareReport struct {
+	Addr        string
+	Policy      string
+	PolicyEpoch uint64
+	Shares      []transport.ShareRecord
+}
+
+// ShareReports collects every connected server's fairness report, in
+// address order — the raw material of `themisctl policy status` and of
+// swap-convergence checks (aggregate Bytes per entity across servers
+// for the cluster-wide measured share).
+func (c *Client) ShareReports() ([]ShareReport, error) {
+	var out []ShareReport
+	for _, sc := range c.sortedConns() {
+		resp, err := sc.call(&transport.Request{
+			Type: transport.MsgShareReport, Seq: c.seq.Add(1), Job: c.job,
+		})
+		if err != nil {
+			c.markFailed(sc.addr)
+			return out, err
+		}
+		if resp.Err != "" {
+			return out, resp.Error()
+		}
+		out = append(out, ShareReport{
+			Addr: sc.addr, Policy: resp.PolicyStr,
+			PolicyEpoch: resp.PolicyEpoch, Shares: resp.Shares,
+		})
+	}
+	return out, nil
 }
 
 // Mkdir creates a directory (replicated on every server).

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"themisio/internal/jobtable"
+	"themisio/internal/policy"
 	"themisio/internal/transport"
 )
 
@@ -60,6 +61,15 @@ type Node struct {
 	conns map[string]*transport.Conn
 	rng   *rand.Rand
 	seq   uint64
+
+	// pmu guards the cluster-wide policy version rumor. Epoch 0 is the
+	// pre-hot-swap state — every server runs its own boot policy and
+	// nothing is gossiped; the first live `policy set` anywhere starts
+	// the epoch sequence and from then on the whole fabric converges on
+	// one policy.
+	pmu      sync.Mutex
+	polStr   string
+	polEpoch uint64
 }
 
 // NewNode creates a fabric endpoint for the server at cfg.Self whose
@@ -82,6 +92,52 @@ func NewNode(cfg Config, tab *jobtable.Table) *Node {
 
 // Membership returns the node's membership view.
 func (n *Node) Membership() *Membership { return n.mem }
+
+// PolicyVersion returns the cluster-wide policy rumor this node holds:
+// the canonical policy string and its epoch. Epoch 0 means no live
+// policy set has ever happened (each server still runs its boot
+// policy, and the empty string rides along).
+func (n *Node) PolicyVersion() (string, uint64) {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	return n.polStr, n.polEpoch
+}
+
+// ProposePolicy installs s (already validated and canonicalized by the
+// caller) as a new cluster-wide policy version on this node: the epoch
+// advances past every version the node has seen, so the rumor
+// supersedes the current one everywhere gossip carries it. Returns the
+// new epoch.
+func (n *Node) ProposePolicy(s string) uint64 {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	n.polEpoch++
+	n.polStr = s
+	return n.polEpoch
+}
+
+// MergePolicy folds a gossiped policy rumor into the node: a higher
+// epoch wins outright; equal epochs tie-break on the lexically greater
+// string so two concurrent sets at the same epoch still converge
+// cluster-wide. Epoch-0 rumors (no set has happened) and strings that
+// do not parse as a policy are ignored. Reports whether the local
+// version changed.
+func (n *Node) MergePolicy(s string, epoch uint64) bool {
+	if epoch == 0 {
+		return false
+	}
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if epoch < n.polEpoch || (epoch == n.polEpoch && s <= n.polStr) {
+		return false
+	}
+	if _, err := policy.Parse(s); err != nil {
+		return false
+	}
+	n.polStr = s
+	n.polEpoch = epoch
+	return true
+}
 
 // Records converts a membership digest to its wire form.
 func Records(members []Member) []transport.MemberRecord {
@@ -177,6 +233,7 @@ func (n *Node) exchange(addr string, typ transport.MsgType, now time.Duration) (
 		Table:   n.tab.Snapshot(),
 		Members: Records(n.mem.Snapshot()),
 	}
+	req.PolicyStr, req.PolicyEpoch = n.PolicyVersion()
 	n.mu.Lock()
 	req.Seq = n.seq + 1
 	n.seq++
@@ -237,6 +294,9 @@ func (n *Node) absorb(addr string, resp *transport.Response, now time.Duration) 
 	if n.tab.Merge(resp.Table, now) {
 		changed = true
 	}
+	if n.MergePolicy(resp.PolicyStr, resp.PolicyEpoch) {
+		changed = true
+	}
 	if n.scrub() {
 		changed = true
 	}
@@ -255,10 +315,12 @@ func (n *Node) Handle(req *transport.Request, now time.Duration) *transport.Resp
 		}
 		n.mem.Merge(FromRecords(req.Members), now)
 		n.tab.Merge(req.Table, now)
+		n.MergePolicy(req.PolicyStr, req.PolicyEpoch)
 		n.scrub()
 		resp.Table = n.tab.Snapshot()
 		resp.Members = Records(n.mem.Snapshot())
 		resp.Epoch = n.mem.Epoch()
+		resp.PolicyStr, resp.PolicyEpoch = n.PolicyVersion()
 	case transport.MsgLeave:
 		n.mem.Merge(FromRecords(req.Members), now)
 		if req.From != "" {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"testing"
+
+	"themisio/internal/jobtable"
+)
+
+// The policy rumor follows the epoch-precedence rules: higher epoch
+// wins, equal epochs tie-break on the lexically greater string, epoch-0
+// and unparseable rumors are ignored, and a local propose always
+// advances past everything seen.
+func TestPolicyRumorPrecedence(t *testing.T) {
+	n := NewNode(Config{Self: "s1"}, jobtable.New("s1", 0))
+
+	if s, e := n.PolicyVersion(); s != "" || e != 0 {
+		t.Fatalf("fresh node version = %q/%d, want empty/0", s, e)
+	}
+	if n.MergePolicy("size-fair", 0) {
+		t.Fatal("epoch-0 rumor must be ignored")
+	}
+	if !n.MergePolicy("size-fair", 3) {
+		t.Fatal("fresh epoch-3 rumor must be adopted")
+	}
+	if n.MergePolicy("job-fair", 2) {
+		t.Fatal("older epoch must lose")
+	}
+	if n.MergePolicy("job-fair", 3) {
+		t.Fatal("equal epoch with lexically smaller string must lose")
+	}
+	if !n.MergePolicy("user-fair", 3) {
+		t.Fatal("equal epoch with lexically greater string must win (deterministic convergence)")
+	}
+	if n.MergePolicy("not-a-policy", 9) {
+		t.Fatal("unparseable rumor must be ignored")
+	}
+	if s, e := n.PolicyVersion(); s != "user-fair" || e != 3 {
+		t.Fatalf("version = %q/%d, want user-fair/3", s, e)
+	}
+	if e := n.ProposePolicy("job-fair"); e != 4 {
+		t.Fatalf("propose after epoch 3 = %d, want 4", e)
+	}
+	if s, e := n.PolicyVersion(); s != "job-fair" || e != 4 {
+		t.Fatalf("version after propose = %q/%d", s, e)
+	}
+}

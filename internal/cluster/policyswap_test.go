@@ -1,0 +1,285 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"themisio/internal/client"
+	"themisio/internal/policy"
+	"themisio/internal/server"
+)
+
+// Hot-swap fabric tuning. λ is generous so the ≤3λ epoch-propagation
+// budget is dominated by gossip rounds, not TCP scheduling jitter; the
+// per-request OpDelay keeps the worker pool the bottleneck, so both
+// jobs hold a standing backlog and the token draw — not client offered
+// load — decides the measured shares.
+const (
+	psLambda  = 200 * time.Millisecond
+	psOpDelay = 500 * time.Microsecond
+	// 64 writers per user keep every server's per-user queue deep enough
+	// that the striped write's fan-out barrier (a write completes at the
+	// slowest of its 4 stripe servers) cannot momentarily drain the
+	// high-share user's queue and leak her cycles to the other user.
+	psWriters = 64
+	psWrite   = 16 << 10 // bytes per Write call
+	psUnit    = 4 << 10  // stripe unit: every write fans to all 4 servers
+)
+
+// startSwapFabric launches n live servers under the job-fair boot
+// policy with saturating-delay device emulation.
+func startSwapFabric(t testing.TB, n int) ([]*server.Server, []string) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := range lns {
+		cfg := server.Config{
+			Policy:       policy.JobFair,
+			Lambda:       psLambda,
+			FailTimeout:  6 * psLambda,
+			GossipFanout: 2,
+			OpDelay:      psOpDelay,
+			Seed:         int64(i + 1),
+			Quiet:        true,
+		}
+		if i > 0 {
+			cfg.Join = []string{addrs[0]}
+		}
+		servers[i] = server.New(lns[i], cfg)
+		go servers[i].Serve()
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return servers, addrs
+}
+
+// psRotateWrites is how many appends a writer makes to one file before
+// unlinking it and starting over (3 MB per file): the flood runs for as
+// long as convergence takes without ever filling the servers' 256 MiB
+// shards — steady state is ≤ psWriters·2·3 MB across the fabric. The
+// rotation is long enough that its serial unlink/reopen round trips
+// (scheduled ops, so they queue like any request) stay well under 1% of
+// a writer's duty cycle — rotating too often visibly leaks the
+// high-share user's cycles to the other user.
+const psRotateWrites = 192
+
+// swapLoad runs one user's striped write flood: psWriters goroutines,
+// each appending to (and periodically rotating) its own file, until
+// stop closes. Every error — write, unlink, reopen, short write — is
+// counted; the acceptance bar is zero.
+func swapLoad(t testing.TB, c *client.Client, user string, stop chan struct{}, errs *atomic.Int64) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < psWriters; i++ {
+		path := fmt.Sprintf("/swap/%s-%d.bin", user, i)
+		fd, err := c.Open(path, true)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		wg.Add(1)
+		go func(fd int, path string) {
+			defer wg.Done()
+			buf := make([]byte, psWrite)
+			writes := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n, err := c.Write(fd, buf); err != nil || n != len(buf) {
+					errs.Add(1)
+				}
+				if writes++; writes >= psRotateWrites {
+					writes = 0
+					if err := c.CloseFd(fd); err != nil {
+						errs.Add(1)
+					}
+					if err := c.Unlink(path); err != nil {
+						errs.Add(1)
+					}
+					var err error
+					if fd, err = c.Open(path, true); err != nil {
+						errs.Add(1)
+						return
+					}
+				}
+			}
+		}(fd, path)
+	}
+	return &wg
+}
+
+// TestFabricPolicySwap is the acceptance walkthrough of the live
+// policy hot-swap: on a 4-server fabric under concurrent load from two
+// users, `policy set` flips job-fair → size-fair through one member;
+// the rumor gossips out and every member reports the new policy epoch
+// within 3λ; no request errors; and the measured per-entity shares
+// every server reports over MsgShareReport converge to the freshly
+// compiled shares within ±0.02 — without restarting anything or
+// dropping a byte.
+func TestFabricPolicySwap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live share-convergence scenario needs several seconds of saturated load")
+	}
+	servers, addrs := startSwapFabric(t, 4)
+	waitConverged(t, servers, 4)
+
+	alice := policy.JobInfo{JobID: "job-a", UserID: "alice", GroupID: "g", Nodes: 3}
+	bob := policy.JobInfo{JobID: "job-b", UserID: "bob", GroupID: "g", Nodes: 1}
+	opts := client.Options{Stripes: 4, StripeUnit: psUnit}
+	ca, err := client.DialOpts(alice, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := client.DialOpts(bob, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	if err := ca.Mkdir("/swap"); err != nil {
+		t.Fatal(err)
+	}
+
+	var errCount atomic.Int64
+	stop := make(chan struct{})
+	wgA := swapLoad(t, ca, "alice", stop, &errCount)
+	wgB := swapLoad(t, cb, "bob", stop, &errCount)
+
+	// Let the fabric settle into the saturated job-fair regime.
+	time.Sleep(5 * psLambda)
+
+	// The swap: one control message to one member.
+	canon, epoch, err := ca.SetPolicy("size-fair")
+	swapAt := time.Now()
+	if err != nil {
+		t.Fatalf("policy set: %v", err)
+	}
+	if canon != "size-fair" || epoch == 0 {
+		t.Fatalf("policy set returned %q epoch %d", canon, epoch)
+	}
+
+	// Every member must be enforcing the new policy epoch within 3λ.
+	waitFor(t, 10*time.Second, "policy epoch propagation", func() bool {
+		for _, s := range servers {
+			str, e := s.AppliedPolicy()
+			if e != epoch || str != "size-fair" {
+				return false
+			}
+		}
+		return true
+	})
+	if elapsed := time.Since(swapAt); elapsed > 3*psLambda {
+		t.Errorf("policy epoch reached every member in %v, want within 3λ = %v", elapsed, 3*psLambda)
+	}
+
+	// Measured shares re-converge to the new compiled shares on every
+	// server (the ledger horizon has to forget the job-fair windows
+	// first). Checked through the wire path — MsgShareReport — exactly
+	// as `themisctl policy status` would.
+	var lastBad string
+	converged := func() bool {
+		reports, err := ca.ShareReports()
+		if err != nil || len(reports) != 4 {
+			lastBad = fmt.Sprintf("reports: %d, err %v", len(reports), err)
+			return false
+		}
+		for _, rep := range reports {
+			if rep.PolicyEpoch != epoch {
+				lastBad = fmt.Sprintf("%s at epoch %d", rep.Addr, rep.PolicyEpoch)
+				return false
+			}
+			seen := 0
+			for _, e := range rep.Shares {
+				if e.Kind != "user" {
+					continue
+				}
+				var want float64
+				switch e.ID {
+				case "alice":
+					want = 0.75
+				case "bob":
+					want = 0.25
+				default:
+					continue
+				}
+				seen++
+				if math.Abs(e.Compiled-want) > 1e-6 {
+					lastBad = fmt.Sprintf("%s compiled %s = %.4f, want %.2f", rep.Addr, e.ID, e.Compiled, want)
+					return false
+				}
+				if r := e.Measured - e.Compiled; math.Abs(r) > 0.02 {
+					lastBad = fmt.Sprintf("%s %s residual %+.4f", rep.Addr, e.ID, r)
+					return false
+				}
+			}
+			if seen != 2 {
+				lastBad = fmt.Sprintf("%s reports %d of 2 users", rep.Addr, seen)
+				return false
+			}
+		}
+		return true
+	}
+	start := time.Now()
+	stillOK := false
+	for time.Since(start) < 20*time.Second {
+		if converged() {
+			stillOK = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	close(stop)
+	wgA.Wait()
+	wgB.Wait()
+
+	if !stillOK {
+		t.Fatalf("measured shares did not converge to ±0.02 of compiled: %s", lastBad)
+	}
+	if n := errCount.Load(); n != 0 {
+		t.Fatalf("%d request errors across the hot-swap, want 0", n)
+	}
+	// The jobs were never restarted: both made progress after the swap
+	// under the new shares (alice ~3× bob).
+	reports, err := ca.ShareReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aBytes, bBytes int64
+	for _, rep := range reports {
+		for _, e := range rep.Shares {
+			if e.Kind == "user" && e.ID == "alice" {
+				aBytes += e.Bytes
+			}
+			if e.Kind == "user" && e.ID == "bob" {
+				bBytes += e.Bytes
+			}
+		}
+	}
+	if aBytes == 0 || bBytes == 0 {
+		t.Fatalf("post-swap serviced bytes: alice %d, bob %d", aBytes, bBytes)
+	}
+	ratio := float64(aBytes) / float64(aBytes+bBytes)
+	if math.Abs(ratio-0.75) > 0.02 {
+		t.Errorf("cluster-aggregate alice share = %.3f, want 0.75±0.02", ratio)
+	}
+}

@@ -61,6 +61,12 @@ type shard struct {
 type jobState struct {
 	cls    [sched.NumClasses]atomic.Int64
 	served atomic.Int64
+	// bytes is the job's cumulative serviced-byte counter (request Cost:
+	// payload bytes for data ops, the nominal MetaCost for metadata),
+	// charged lock-free at the pop that hands the request to a worker.
+	// The controller's λ share ledger turns these into measured
+	// per-entity shares to compare against the compiled token shares.
+	bytes atomic.Int64
 }
 
 // backlogged reports whether any class has queued work (the allow==nil
@@ -303,6 +309,7 @@ func (t *Themis) popFromResolved(job string, st *jobState, sh *shard, allow sche
 	sh.mu.Unlock()
 	if r != nil {
 		st.served.Add(1)
+		st.bytes.Add(r.Cost())
 		t.pending.Add(-1)
 	}
 	return r
@@ -499,6 +506,22 @@ func (t *Themis) SetStrict(on bool) { t.strict.Store(on) }
 
 // Wasted returns the number of forfeited draws in strict mode.
 func (t *Themis) Wasted() int64 { return t.wasted.Load() }
+
+// ServedBytes returns the cumulative serviced bytes per job since
+// creation (request Cost at pop time). The λ share ledger diffs
+// successive snapshots into per-window measured shares; the snapshot
+// allocates, so it belongs on the controller's cold path, never per
+// request.
+func (t *Themis) ServedBytes() map[string]int64 {
+	out := make(map[string]int64)
+	t.states.Range(func(k, v any) bool {
+		if n := v.(*jobState).bytes.Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
+}
 
 // Served returns the number of requests served per job since creation.
 func (t *Themis) Served() map[string]int64 {

@@ -269,3 +269,24 @@ func TestShareTrackingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ServedBytes charges each pop with the request's scheduling cost
+// (payload bytes for data ops, MetaCost for metadata) — the raw
+// material of the λ share ledger.
+func TestServedBytesCounter(t *testing.T) {
+	th := New(policy.JobFair, 1)
+	th.SetJobs(jobs("a", "b"))
+	th.Push(req("a", 1000))
+	th.Push(req("a", 24))
+	th.Push(req("b", 4096))
+	th.Push(&sched.Request{Job: policy.JobInfo{JobID: "b"}, Op: sched.OpStat})
+	for th.Pop(0, nil) != nil {
+	}
+	got := th.ServedBytes()
+	if got["a"] != 1024 {
+		t.Fatalf("a served bytes = %d, want 1024", got["a"])
+	}
+	if got["b"] != 4096+sched.MetaCost {
+		t.Fatalf("b served bytes = %d, want %d", got["b"], 4096+sched.MetaCost)
+	}
+}

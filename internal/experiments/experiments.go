@@ -88,6 +88,7 @@ var Registry = []Spec{
 	{"metadata", "§2.2.1 metadata-storm isolation (iops_stat)", Metadata},
 	{"stageout", "stage-out drain vs foreground under the sharing policy", StageOut},
 	{"rebalance", "join-time stripe migration vs foreground under the sharing policy", Rebalance},
+	{"policyswap", "live policy hot-swap: measured share re-convergence", PolicySwap},
 }
 
 // Lookup finds a registry entry by ID.

@@ -21,7 +21,7 @@ func metricsOf(t *testing.T, r *Result) map[string]float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"capacity", "fig1", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "fig12", "fig13", "fig14", "ablation", "metadata",
-		"stageout", "rebalance"}
+		"stageout", "rebalance", "policyswap"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -185,6 +185,33 @@ func TestStageOutShareTracksPolicy(t *testing.T) {
 	}
 	if m["sizefair_fg_gbps"] < 7 {
 		t.Fatalf("foreground under size-fair = %.1f GB/s, drain must not starve it", m["sizefair_fg_gbps"])
+	}
+}
+
+// TestFairnessGate is the CI fairness gate: the policy hot-swap
+// sweeps (steady baseline, mid-flood swap, swap during rebalance,
+// straggler member) must show every entity's measured serviced-byte
+// share within ±0.02 of its compiled token share at window close. This
+// runs in -short too — it IS the CI job — and turns EXPERIMENTS.md
+// claims like 0.249-vs-0.25 into an enforced invariant instead of
+// prose.
+func TestFairnessGate(t *testing.T) {
+	const tolerance = 0.02
+	m := metricsOf(t, PolicySwap())
+	checked := 0
+	for k, v := range m {
+		if !strings.HasSuffix(k, "_residual") {
+			continue
+		}
+		checked++
+		if v < -tolerance || v > tolerance {
+			t.Errorf("%s = %+.4f, exceeds ±%.2f fairness gate", k, v, tolerance)
+		} else {
+			t.Logf("%s = %+.4f (within ±%.2f)", k, v, tolerance)
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("gate checked only %d residual metrics; the sweep shrank", checked)
 	}
 }
 

@@ -1,0 +1,207 @@
+// Share ledger: per-entity fairness accounting for the live policy
+// hot-swap machinery. Each server's scheduler keeps lock-free cumulative
+// serviced-byte counters per job (core.Themis.ServedBytes); every λ the
+// controller rolls this ledger, which converts the counters into
+// per-window deltas, aggregates them to the policy's sharing entities
+// (job, user, group), and pairs each entity's *measured* serviced-byte
+// share over a bounded window horizon with the *compiled* token share
+// the current policy assigns it. The residual between the two is the
+// convergence signal the paper's operability story rests on: after a
+// live `themisctl policy set`, every server's measured shares should
+// track the freshly compiled shares within noise a few λ later — an
+// invariant the fairness CI gate enforces at ±0.02.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"themisio/internal/policy"
+)
+
+// ShareEntry is one sharing entity's accounting at a window close. Kind
+// is "job", "user" or "group"; Compiled is the token share the policy
+// compiled for the entity at the close (summed over the entity's jobs
+// for user/group rows); Measured is the fraction of all serviced bytes
+// the entity received over the ledger's horizon; Bytes is the entity's
+// absolute serviced bytes over the same horizon.
+//
+// Measured tracks Compiled only while every entity keeps a backlog:
+// opportunity fairness deliberately hands an idle entity's cycles to
+// whoever has demand, so an under-demanding entity measures below its
+// compiled share and the others above. The residual is a convergence
+// check for saturated phases, not a violation detector.
+type ShareEntry struct {
+	Kind     string
+	ID       string
+	Compiled float64
+	Measured float64
+	Bytes    int64
+}
+
+// Residual is the measured-minus-compiled convergence residual.
+func (e ShareEntry) Residual() float64 { return e.Measured - e.Compiled }
+
+// DefaultShareHorizon is how many λ windows the measured share averages
+// over. One window of a busy server holds a few thousand token draws —
+// enough for ±0.02 on a ~0.25 share only at the edge of binomial noise —
+// so the default horizon keeps per-entity estimates an order of
+// magnitude tighter while still forgetting a policy swap within a
+// second or two of λs.
+const DefaultShareHorizon = 8
+
+// ShareLedger accumulates per-λ serviced-byte windows and produces the
+// per-entity share report. Safe for concurrent use: the controller
+// rolls it on the λ tick while operator queries read the report.
+type ShareLedger struct {
+	mu      sync.Mutex
+	horizon int
+	prev    map[string]int64   // last cumulative counter snapshot
+	windows []map[string]int64 // per-window deltas, oldest first
+	report  []ShareEntry
+	at      time.Duration
+}
+
+// NewShareLedger returns a ledger averaging over the given number of λ
+// windows (non-positive selects DefaultShareHorizon).
+func NewShareLedger(horizon int) *ShareLedger {
+	if horizon <= 0 {
+		horizon = DefaultShareHorizon
+	}
+	return &ShareLedger{horizon: horizon}
+}
+
+// Roll closes one λ window at time now: cum is the scheduler's
+// cumulative serviced-byte counter per job, jobs the active job set
+// (attributing jobs to users and groups), and shareOf the compiled
+// token share per job under the policy in force at the close. It
+// returns the refreshed report. A window in which nothing was serviced
+// leaves the previous report standing — an idle λ carries no fairness
+// evidence either way.
+func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []policy.JobInfo, shareOf func(job string) float64) []ShareEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	delta := make(map[string]int64)
+	for job, n := range cum {
+		if d := n - l.prev[job]; d > 0 {
+			delta[job] = d
+		}
+	}
+	l.prev = cum
+	l.windows = append(l.windows, delta)
+	if len(l.windows) > l.horizon {
+		l.windows = l.windows[len(l.windows)-l.horizon:]
+	}
+
+	bytes := make(map[string]int64)
+	var total int64
+	for _, w := range l.windows {
+		for job, d := range w {
+			bytes[job] += d
+			total += d
+		}
+	}
+	if total == 0 {
+		return append([]ShareEntry(nil), l.report...)
+	}
+
+	type agg struct {
+		compiled float64
+		bytes    int64
+	}
+	users := map[string]*agg{}
+	groups := map[string]*agg{}
+	known := map[string]bool{}
+	var out []ShareEntry
+	add := func(m map[string]*agg, key string, compiled float64, b int64) {
+		a, ok := m[key]
+		if !ok {
+			a = &agg{}
+			m[key] = a
+		}
+		a.compiled += compiled
+		a.bytes += b
+	}
+	for _, j := range jobs {
+		known[j.JobID] = true
+		c := shareOf(j.JobID)
+		b := bytes[j.JobID]
+		out = append(out, ShareEntry{
+			Kind: "job", ID: j.JobID,
+			Compiled: c, Measured: float64(b) / float64(total), Bytes: b,
+		})
+		add(users, j.UserID, c, b)
+		add(groups, j.GroupID, c, b)
+	}
+	// Jobs with serviced bytes in the horizon but no longer in the
+	// active set (departed mid-horizon): report them as job rows so the
+	// measured shares still sum to 1, but without user/group attribution
+	// — their metadata left with them.
+	for job, b := range bytes {
+		if !known[job] {
+			out = append(out, ShareEntry{
+				Kind: "job", ID: job,
+				Compiled: shareOf(job), Measured: float64(b) / float64(total), Bytes: b,
+			})
+		}
+	}
+	emit := func(kind string, m map[string]*agg) {
+		for id, a := range m {
+			out = append(out, ShareEntry{
+				Kind: kind, ID: id,
+				Compiled: a.compiled, Measured: float64(a.bytes) / float64(total), Bytes: a.bytes,
+			})
+		}
+	}
+	emit("user", users)
+	emit("group", groups)
+	kindRank := map[string]int{"job": 0, "user": 1, "group": 2}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Kind != out[k].Kind {
+			return kindRank[out[i].Kind] < kindRank[out[k].Kind]
+		}
+		return out[i].ID < out[k].ID
+	})
+	l.report = out
+	l.at = now
+	return append([]ShareEntry(nil), out...)
+}
+
+// Report returns the latest per-entity report (nil before the first
+// non-idle window).
+func (l *ShareLedger) Report() []ShareEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ShareEntry(nil), l.report...)
+}
+
+// ReportAt returns the virtual/wall time offset of the last window
+// close that produced the current report.
+func (l *ShareLedger) ReportAt() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.at
+}
+
+// MaxResidual returns the largest |measured − compiled| among the
+// report's entities of the given kind ("" means all kinds), and whether
+// any such entity exists — the scalar the fairness gate bounds.
+func (l *ShareLedger) MaxResidual(kind string) (float64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	worst, any := 0.0, false
+	for _, e := range l.report {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		any = true
+		if r := e.Residual(); r > worst {
+			worst = r
+		} else if -r > worst {
+			worst = -r
+		}
+	}
+	return worst, any
+}

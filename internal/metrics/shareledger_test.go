@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"themisio/internal/policy"
+)
+
+func ledgerJobs() []policy.JobInfo {
+	return []policy.JobInfo{
+		{JobID: "j1", UserID: "alice", GroupID: "g1", Nodes: 3},
+		{JobID: "j2", UserID: "bob", GroupID: "g1", Nodes: 1},
+	}
+}
+
+func shareOf(m map[string]float64) func(string) float64 {
+	return func(job string) float64 { return m[job] }
+}
+
+func entry(t *testing.T, rep []ShareEntry, kind, id string) ShareEntry {
+	t.Helper()
+	for _, e := range rep {
+		if e.Kind == kind && e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("no %s entry %q in %+v", kind, id, rep)
+	return ShareEntry{}
+}
+
+// Rolling converts cumulative counters to window deltas and measured
+// shares; user and group rows aggregate their jobs' bytes and compiled
+// shares.
+func TestShareLedgerAggregation(t *testing.T) {
+	l := NewShareLedger(4)
+	comp := map[string]float64{"j1": 0.75, "j2": 0.25}
+
+	l.Roll(time.Second, map[string]int64{"j1": 100, "j2": 100}, ledgerJobs(), shareOf(comp))
+	rep := l.Roll(2*time.Second, map[string]int64{"j1": 400, "j2": 200}, ledgerJobs(), shareOf(comp))
+
+	// Horizon bytes: j1 = 100+300, j2 = 100+100 → measured 2/3 vs 1/3.
+	j1 := entry(t, rep, "job", "j1")
+	if math.Abs(j1.Measured-4.0/6.0) > 1e-9 || j1.Bytes != 400 || j1.Compiled != 0.75 {
+		t.Fatalf("j1 entry: %+v", j1)
+	}
+	alice := entry(t, rep, "user", "alice")
+	if alice.Bytes != 400 || math.Abs(alice.Compiled-0.75) > 1e-9 {
+		t.Fatalf("alice entry: %+v", alice)
+	}
+	g1 := entry(t, rep, "group", "g1")
+	if g1.Bytes != 600 || math.Abs(g1.Measured-1.0) > 1e-9 || math.Abs(g1.Compiled-1.0) > 1e-9 {
+		t.Fatalf("g1 entry: %+v", g1)
+	}
+	if worst, any := l.MaxResidual("job"); !any || math.Abs(worst-(0.75-4.0/6.0)) > 1e-9 {
+		t.Fatalf("MaxResidual = %v %v", worst, any)
+	}
+}
+
+// An idle window leaves the previous report standing, and old windows
+// age out of the horizon.
+func TestShareLedgerIdleAndHorizon(t *testing.T) {
+	l := NewShareLedger(2)
+	comp := map[string]float64{"j1": 0.5, "j2": 0.5}
+
+	l.Roll(1, map[string]int64{"j1": 100}, ledgerJobs(), shareOf(comp))
+	idle := l.Roll(2, map[string]int64{"j1": 100}, ledgerJobs(), shareOf(comp))
+	if e := entry(t, idle, "job", "j1"); e.Bytes != 100 {
+		t.Fatalf("idle window must keep the previous report, got %+v", e)
+	}
+	// Two more active windows push the first window out of horizon 2.
+	l.Roll(3, map[string]int64{"j1": 100, "j2": 50}, ledgerJobs(), shareOf(comp))
+	rep := l.Roll(4, map[string]int64{"j1": 100, "j2": 100}, ledgerJobs(), shareOf(comp))
+	if e := entry(t, rep, "job", "j2"); e.Bytes != 100 {
+		t.Fatalf("horizon should hold the last 2 windows only, got %+v", e)
+	}
+	if e := entry(t, rep, "job", "j1"); e.Bytes != 0 {
+		t.Fatalf("j1 had no bytes inside the horizon, got %+v", e)
+	}
+}
+
+// A job that departed the active set but serviced bytes inside the
+// horizon still appears as a job row, so measured shares sum to 1.
+func TestShareLedgerDepartedJob(t *testing.T) {
+	l := NewShareLedger(4)
+	comp := map[string]float64{"j1": 1}
+	rep := l.Roll(1, map[string]int64{"j1": 100, "gone": 100},
+		[]policy.JobInfo{{JobID: "j1", UserID: "alice", GroupID: "g1"}}, shareOf(comp))
+	if e := entry(t, rep, "job", "gone"); e.Measured != 0.5 || e.Compiled != 0 {
+		t.Fatalf("departed job entry: %+v", e)
+	}
+	sum := 0.0
+	for _, e := range rep {
+		if e.Kind == "job" {
+			sum += e.Measured
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("job measured shares sum to %v, want 1", sum)
+	}
+}

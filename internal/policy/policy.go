@@ -11,6 +11,7 @@ package policy
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -75,6 +76,13 @@ var (
 	UserThenSizeFair  = Policy{Levels: []Level{LevelUser, LevelSize}}
 	GroupUserSizeFair = Policy{Levels: []Level{LevelGroup, LevelUser, LevelSize}}
 )
+
+// Equal reports whether two policies are the same chain (Policy holds a
+// slice, so == does not compile; the hot-swap path and the Parse/String
+// round-trip property both need value equality).
+func (p Policy) Equal(q Policy) bool {
+	return p.FIFO == q.FIFO && slices.Equal(p.Levels, q.Levels)
+}
 
 // String renders the policy in the paper's notation, e.g.
 // "group-then-user-then-size-fair".

@@ -2,6 +2,8 @@ package policy
 
 import (
 	"math"
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -49,9 +51,70 @@ func TestParseComposites(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, in := range []string{"", "bogus", "job", "size-then-user-fair", "wat-fair", "job-then-size-fair"} {
-		if _, err := Parse(in); err == nil {
-			t.Fatalf("Parse(%q) should fail", in)
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error message
+	}{
+		{"empty string", "", "empty policy"},
+		{"whitespace only", "   ", "empty policy"},
+		{"no -fair suffix", "bogus", "does not end in -fair"},
+		{"bare level", "job", "does not end in -fair"},
+		{"unknown level", "wat-fair", `unknown level "wat"`},
+		{"unknown level in chain", "user-then-flub-fair", `unknown level "flub"`},
+		{"terminal level not last", "size-then-user-fair", `"size" must be last`},
+		{"terminal job not last", "job-then-size-fair", `"job" must be last`},
+		{"terminal priority not last", "priority-then-job-fair", `"priority" must be last`},
+		{"abbreviated composite, terminal not last", "size-user-fair", `"size" must be last`},
+		{"abbreviated composite, unknown level", "group-wat-size-fair", `unknown level "wat"`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.in); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", tc.name, tc.in)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Parse(%q) error %q, want substring %q", tc.name, tc.in, err, tc.want)
+		}
+	}
+	// The abbreviated composite form itself is valid — only its
+	// malformed variants above fail.
+	if p, err := Parse("group-user-size-fair"); err != nil || !p.Equal(GroupUserSizeFair) {
+		t.Errorf("Parse(group-user-size-fair) = %v, %v; want the predefined composite", p, err)
+	}
+}
+
+// Parse(p.String()) == p for every well-formed policy: the canonical
+// rendering is a fixed point of the parser, so the hot-swap path can
+// gossip canonical strings without drift.
+func TestParseStringRoundTrip(t *testing.T) {
+	// All predefined policies round-trip.
+	for _, p := range []Policy{FIFO, JobFair, UserFair, SizeFair, PriorityFair,
+		UserThenJobFair, UserThenSizeFair, GroupUserSizeFair} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip of %q = %v, want %v", p.String(), got, p)
+		}
+	}
+	// Property over random valid chains: any run of non-terminal levels
+	// (user, group) capped by a terminal one (job, size, priority).
+	rng := rand.New(rand.NewSource(42))
+	nonTerminal := []Level{LevelUser, LevelGroup}
+	terminal := []Level{LevelJob, LevelSize, LevelPriority}
+	for i := 0; i < 500; i++ {
+		var levels []Level
+		for n := rng.Intn(4); n > 0; n-- {
+			levels = append(levels, nonTerminal[rng.Intn(len(nonTerminal))])
+		}
+		levels = append(levels, terminal[rng.Intn(len(terminal))])
+		p := Policy{Levels: levels}
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip of %q = %v, want %v", p.String(), got, p)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"themisio/internal/policy"
+)
+
+// startSwapServer runs one quiet server with a fast λ for policy-apply
+// tests.
+func startSwapServer(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ln, Config{
+		Policy: policy.JobFair,
+		Lambda: 10 * time.Millisecond,
+		Quiet:  true,
+	})
+	go s.Serve()
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitApplied(t *testing.T, s *Server, wantStr string, wantEpoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if str, e := s.AppliedPolicy(); str == wantStr && e == wantEpoch {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	str, e := s.AppliedPolicy()
+	t.Fatalf("applied policy = %q/%d, want %q/%d", str, e, wantStr, wantEpoch)
+}
+
+// The controller applies a gossiped policy version at its next λ, and —
+// the equal-epoch regression — re-applies when the gossip tie-break
+// replaces the string without moving the epoch (two concurrent sets at
+// the same epoch: gating on the epoch alone would leave this member
+// enforcing the losing policy forever).
+func TestApplyPolicyEqualEpochTieBreak(t *testing.T) {
+	s := startSwapServer(t)
+	if str, e := s.AppliedPolicy(); str != "job-fair" || e != 0 {
+		t.Fatalf("boot policy = %q/%d, want job-fair/0", str, e)
+	}
+
+	// A rumor lands (as if merged from gossip): applied at the next λ.
+	if !s.Cluster().MergePolicy("size-fair", 1) {
+		t.Fatal("merge of a fresh rumor must be adopted")
+	}
+	waitApplied(t, s, "size-fair", 1)
+
+	// The tie-break winner of a concurrent set arrives: same epoch,
+	// lexically greater string. The member must re-apply.
+	if !s.Cluster().MergePolicy("user-then-size-fair", 1) {
+		t.Fatal("equal-epoch lexically-greater rumor must be adopted")
+	}
+	waitApplied(t, s, "user-then-size-fair", 1)
+	if got := s.Scheduler().Policy(); !got.Equal(policy.UserThenSizeFair) {
+		t.Fatalf("scheduler enforcing %v, want user-then-size-fair", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"themisio/internal/core"
 	"themisio/internal/fsys"
 	"themisio/internal/jobtable"
+	"themisio/internal/metrics"
 	"themisio/internal/policy"
 	"themisio/internal/sched"
 	"themisio/internal/transport"
@@ -106,6 +107,17 @@ type Server struct {
 	bootErr error
 	start   time.Time
 
+	// applied is the policy the scheduler last recompiled under: the
+	// canonical string plus the cluster policy epoch it arrived at (0 =
+	// the boot policy, before any live `policy set`). The controller
+	// swaps it at λ when the gossiped version moves; MsgShareReport
+	// reads it — "every member reports the new policy epoch" is this
+	// value converging.
+	applied atomic.Pointer[appliedPolicy]
+	// ledger is the per-entity fairness accounting: serviced-byte
+	// windows rolled every λ from the scheduler's lock-free counters.
+	ledger *metrics.ShareLedger
+
 	// recovering serializes asynchronous failover-recovery passes (the
 	// backing I/O must not stall the controller's λ loop); stageMu
 	// additionally excludes a Flush from overlapping a recovery pass —
@@ -182,6 +194,8 @@ func New(ln net.Listener, cfg Config) *Server {
 		conns:  map[*transport.Conn]struct{}{},
 		gone:   map[string]int{},
 	}
+	s.applied.Store(&appliedPolicy{str: cfg.Policy.String()})
+	s.ledger = metrics.NewShareLedger(0)
 	if cfg.Backing != nil {
 		// Stage-in: restore whatever this server staged out before its
 		// last shutdown or crash (keyed by the listen address). A failed
@@ -201,6 +215,25 @@ func New(ln net.Listener, cfg Config) *Server {
 	s.migr = NewMigrator(addr, shard, s.node, cfg.Backing, cfg.Quiet)
 	return s
 }
+
+// appliedPolicy is one published (policy string, cluster policy epoch)
+// pair — what the scheduler is actually enforcing right now.
+type appliedPolicy struct {
+	str   string
+	epoch uint64
+}
+
+// AppliedPolicy returns the canonical policy string the scheduler is
+// enforcing and the cluster policy epoch it was applied under (0 means
+// the boot policy — no live set has reached this member yet).
+func (s *Server) AppliedPolicy() (string, uint64) {
+	ap := s.applied.Load()
+	return ap.str, ap.epoch
+}
+
+// ShareLedger exposes the per-entity fairness accounting (tests and
+// inspection; the wire path is MsgShareReport).
+func (s *Server) ShareLedger() *metrics.ShareLedger { return s.ledger }
 
 // BootErr reports a fatal startup condition (a failed backing-store
 // re-hydration); Serve refuses to run while it is non-nil.
@@ -338,6 +371,37 @@ func (s *Server) handleConn(c *transport.Conn) {
 			resp := &transport.Response{Seq: req.Seq}
 			if err := s.Flush(); err != nil {
 				resp.Err = err.Error()
+			}
+			if err := c.SendResponse(resp); err != nil {
+				return
+			}
+			continue
+		case transport.MsgPolicySet:
+			// Live policy hot-swap entry point: validate, canonicalize,
+			// version through the fabric's rumor path. The scheduler swap
+			// itself happens on every member's controller at its next λ —
+			// in-flight requests re-arbitrate under the new compiled
+			// shares; nothing restarts and nothing is dropped.
+			resp := &transport.Response{Seq: req.Seq}
+			if pol, err := policy.Parse(req.PolicyStr); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.PolicyStr = pol.String()
+				resp.PolicyEpoch = s.node.ProposePolicy(pol.String())
+			}
+			if err := c.SendResponse(resp); err != nil {
+				return
+			}
+			continue
+		case transport.MsgShareReport:
+			// Operator fairness query — control plane, not scheduled.
+			ap := s.applied.Load()
+			resp := &transport.Response{
+				Seq:         req.Seq,
+				PolicyStr:   ap.str,
+				PolicyEpoch: ap.epoch,
+				Epoch:       s.sched.EpochSeq(),
+				Shares:      shareRecords(s.ledger.Report()),
 			}
 			if err := c.SendResponse(resp); err != nil {
 				return
@@ -638,11 +702,60 @@ func (s *Server) controller() {
 			s.rebalanceTick()
 		}
 		s.shard.SweepMoved(movedRetention)
+		s.applyPolicy()
 		if g := s.table.Refresh(s.now()); g != lastGen {
 			lastGen = g
 			s.sched.SetJobs(s.table.ActiveSnapshot().Jobs)
 		}
+		// Close the λ accounting window after any recompile above, so
+		// the compiled shares paired with the window are the ones now in
+		// force.
+		s.ledger.Roll(s.now(), s.sched.ServedBytes(), s.table.ActiveSnapshot().Jobs, s.sched.Share)
 	}
+}
+
+// applyPolicy recompiles the scheduler under the gossiped cluster
+// policy when its epoch has moved past the applied one — the λ-aligned
+// half of the live hot-swap, deliberately the same cadence as a
+// job-table generation move. The per-job queues are untouched: every
+// queued and in-flight request simply re-arbitrates under the freshly
+// compiled shares on its next token draw.
+func (s *Server) applyPolicy() {
+	str, epoch := s.node.PolicyVersion()
+	// The string is compared too, not just the epoch: two concurrent
+	// sets can land at the same epoch, and the gossip tie-break may
+	// replace the string this member already applied without moving the
+	// epoch — gating on the epoch alone would leave the member
+	// enforcing the losing policy forever.
+	if cur := s.applied.Load(); epoch == cur.epoch && (epoch == 0 || str == cur.str) {
+		return
+	}
+	pol, err := policy.Parse(str)
+	if err != nil {
+		// Rumors are validated at set and merge; an unparseable one here
+		// means a version skew bug — keep the running policy.
+		if !s.cfg.Quiet {
+			log.Printf("themisd: ignoring bad policy rumor %q: %v", str, err)
+		}
+		return
+	}
+	s.sched.SetPolicy(pol)
+	s.applied.Store(&appliedPolicy{str: pol.String(), epoch: epoch})
+	if !s.cfg.Quiet {
+		log.Printf("themisd: policy hot-swap: %s (policy epoch %d)", pol, epoch)
+	}
+}
+
+// shareRecords converts ledger entries to their wire form.
+func shareRecords(entries []metrics.ShareEntry) []transport.ShareRecord {
+	out := make([]transport.ShareRecord, len(entries))
+	for i, e := range entries {
+		out[i] = transport.ShareRecord{
+			Kind: e.Kind, ID: e.ID,
+			Compiled: e.Compiled, Measured: e.Measured, Bytes: e.Bytes,
+		}
+	}
+	return out
 }
 
 // pushDrain enqueues one stage-out request: same path as a foreground

@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"themisio/internal/jobtable"
@@ -137,6 +138,24 @@ func appendTable(b []byte, t []jobtable.Entry) []byte {
 		return appendBytes(b[:len(b)-1], nil)
 	}
 	return appendBytes(b, blob.Bytes())
+}
+
+// appendF64 writes a float64 as 8 fixed little-endian bytes (shares are
+// uniform in [0,1]; varint encoding buys nothing on IEEE bit patterns).
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendShares(b []byte, ss []ShareRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s.Kind)
+		b = appendString(b, s.ID)
+		b = appendF64(b, s.Compiled)
+		b = appendF64(b, s.Measured)
+		b = appendSvarint(b, s.Bytes)
+	}
+	return b
 }
 
 func appendMembers(b []byte, ms []MemberRecord) []byte {
@@ -274,6 +293,36 @@ func (d *reader) table() []jobtable.Entry {
 	return t
 }
 
+func (d *reader) f64() float64 {
+	raw := d.raw(8)
+	if raw == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw))
+}
+
+func (d *reader) shares() []ShareRecord {
+	n := d.uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := make([]ShareRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s ShareRecord
+		s.Kind = d.str()
+		s.ID = d.str()
+		s.Compiled = d.f64()
+		s.Measured = d.f64()
+		s.Bytes = d.svarint()
+		out = append(out, s)
+	}
+	return out
+}
+
 func (d *reader) members() []MemberRecord {
 	n := d.uvarint()
 	if n == 0 {
@@ -332,6 +381,8 @@ func appendRequest(b []byte, r *Request) []byte {
 	b = appendString(b, r.From)
 	b = appendMembers(b, r.Members)
 	b = appendTable(b, r.Table)
+	b = appendString(b, r.PolicyStr)
+	b = appendUvarint(b, r.PolicyEpoch)
 	return b
 }
 
@@ -358,6 +409,8 @@ func decodeRequest(b []byte, r *Request) error {
 	r.From = d.str()
 	r.Members = d.members()
 	r.Table = d.table()
+	r.PolicyStr = d.str()
+	r.PolicyEpoch = d.uvarint()
 	return d.err
 }
 
@@ -377,6 +430,9 @@ func appendResponse(b []byte, r *Response) []byte {
 	b = appendUvarint(b, r.Epoch)
 	b = appendMembers(b, r.Members)
 	b = appendTable(b, r.Table)
+	b = appendString(b, r.PolicyStr)
+	b = appendUvarint(b, r.PolicyEpoch)
+	b = appendShares(b, r.Shares)
 	return b
 }
 
@@ -397,5 +453,8 @@ func decodeResponse(b []byte, r *Response) error {
 	r.Epoch = d.uvarint()
 	r.Members = d.members()
 	r.Table = d.table()
+	r.PolicyStr = d.str()
+	r.PolicyEpoch = d.uvarint()
+	r.Shares = d.shares()
 	return d.err
 }

@@ -18,20 +18,22 @@ func binaryPair() (*Conn, *Conn) {
 
 func sampleRequest() *Request {
 	return &Request{
-		Type:       MsgWrite,
-		Seq:        99,
-		Job:        policy.JobInfo{JobID: "j", UserID: "u", GroupID: "g", Nodes: 8, Priority: 2, Presence: 3},
-		Path:       "/data/x",
-		Offset:     1 << 40,
-		Size:       4096,
-		Data:       []byte{1, 2, 3, 4, 5},
-		Stripes:    4,
-		StripeUnit: 256 << 10,
-		StripeSet:  []string{"a:1", "b:2", "c:3", "d:4"},
-		MigrateOp:  MigrateCommit,
-		Gen:        17,
-		LayoutGen:  3,
-		From:       "127.0.0.1:7777",
+		Type:        MsgWrite,
+		Seq:         99,
+		Job:         policy.JobInfo{JobID: "j", UserID: "u", GroupID: "g", Nodes: 8, Priority: 2, Presence: 3},
+		Path:        "/data/x",
+		Offset:      1 << 40,
+		Size:        4096,
+		Data:        []byte{1, 2, 3, 4, 5},
+		Stripes:     4,
+		StripeUnit:  256 << 10,
+		StripeSet:   []string{"a:1", "b:2", "c:3", "d:4"},
+		MigrateOp:   MigrateCommit,
+		Gen:         17,
+		LayoutGen:   3,
+		From:        "127.0.0.1:7777",
+		PolicyStr:   "user-then-size-fair",
+		PolicyEpoch: 6,
 	}
 }
 
@@ -65,7 +67,8 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 		got.StripeUnit != want.StripeUnit || len(got.StripeSet) != 4 ||
 		got.StripeSet[3] != "d:4" || got.From != want.From ||
 		got.MigrateOp != want.MigrateOp || got.Gen != want.Gen ||
-		got.LayoutGen != want.LayoutGen {
+		got.LayoutGen != want.LayoutGen || got.PolicyStr != want.PolicyStr ||
+		got.PolicyEpoch != want.PolicyEpoch {
 		t.Fatalf("binary request round trip: %+v", got)
 	}
 	if !c2.recvBin || !c2.sendBin {
@@ -76,7 +79,12 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 		Seq: 99, N: 5, Data: []byte{9, 8}, Size: 123, IsDir: true,
 		Names: []string{"x", "y"}, Stripes: 2, StripeUnit: 1 << 20,
 		StripeSet: []string{"a:1", "b:2"}, LayoutGen: 4, Gen: 21, Epoch: 7,
-		Members: []MemberRecord{{Addr: "a:1", State: 2, Incarnation: 11}},
+		Members:   []MemberRecord{{Addr: "a:1", State: 2, Incarnation: 11}},
+		PolicyStr: "size-fair", PolicyEpoch: 6,
+		Shares: []ShareRecord{
+			{Kind: "job", ID: "j1", Compiled: 0.75, Measured: 0.743, Bytes: 1 << 30},
+			{Kind: "user", ID: "alice", Compiled: 0.25, Measured: 0.26, Bytes: 4096},
+		},
 	}
 	go func() {
 		if err := c2.SendResponse(wantResp); err != nil {
@@ -91,7 +99,10 @@ func TestBinaryRoundTripAndAdoption(t *testing.T) {
 		!gotResp.IsDir || gotResp.Size != 123 || len(gotResp.Names) != 2 ||
 		gotResp.Epoch != 7 || len(gotResp.Members) != 1 ||
 		gotResp.Members[0].Incarnation != 11 || len(gotResp.StripeSet) != 2 ||
-		gotResp.LayoutGen != 4 || gotResp.Gen != 21 {
+		gotResp.LayoutGen != 4 || gotResp.Gen != 21 ||
+		gotResp.PolicyStr != "size-fair" || gotResp.PolicyEpoch != 6 ||
+		len(gotResp.Shares) != 2 || gotResp.Shares[0] != wantResp.Shares[0] ||
+		gotResp.Shares[1] != wantResp.Shares[1] {
 		t.Fatalf("binary response round trip: %+v", gotResp)
 	}
 	if !c1.recvBin {

@@ -84,6 +84,23 @@ const (
 	// MsgRebalanceStatus is the operator query for a server's migration
 	// progress (themisctl rebalance status).
 	MsgRebalanceStatus
+
+	// MsgPolicySet installs a new cluster-wide sharing policy on the
+	// receiving member: the member validates the policy string, bumps
+	// the cluster policy epoch past every version it has seen, and lets
+	// the gossip rumor path carry the new version to every other
+	// member. Each server's controller recompiles at its next λ — no
+	// restart, no dropped request. The reply echoes the canonical
+	// policy string and the new policy epoch.
+	MsgPolicySet
+
+	// MsgShareReport is the per-entity fairness query (themisctl policy
+	// status): the reply carries the server's applied policy string and
+	// policy epoch plus one ShareRecord per sharing entity (job, user,
+	// group) with its compiled token share and its measured
+	// serviced-byte share over the server's λ-windowed accounting
+	// horizon.
+	MsgShareReport
 )
 
 // Migration sub-ops carried in Request.MigrateOp for MsgMigrate.
@@ -120,7 +137,7 @@ func (m MsgType) String() string {
 	names := []string{"open", "create", "read", "write", "close", "stat",
 		"mkdir", "readdir", "unlink", "heartbeat", "bye", "sync",
 		"gossip", "join", "leave", "cluster-status", "drain", "flush",
-		"migrate", "rebalance-status"}
+		"migrate", "rebalance-status", "policy-set", "share-report"}
 	if int(m) < len(names) {
 		return names[m]
 	}
@@ -135,6 +152,24 @@ type MemberRecord struct {
 	State       uint8
 	Incarnation uint64
 }
+
+// ShareRecord is the wire form of one sharing entity's fairness
+// accounting: the token share the policy compiled for it versus the
+// share of serviced bytes it actually received over the reporting
+// server's λ-windowed horizon. Kind is "job", "user" or "group". The
+// metrics package owns the accounting; transport keeps only the codec
+// (the MemberRecord pattern).
+type ShareRecord struct {
+	Kind     string
+	ID       string
+	Compiled float64
+	Measured float64
+	Bytes    int64
+}
+
+// Residual is the measured-minus-compiled convergence residual; the
+// fairness CI gate bounds its magnitude.
+func (r ShareRecord) Residual() float64 { return r.Measured - r.Compiled }
 
 // Request is a client→server (or server→server, for MsgSync) message.
 type Request struct {
@@ -180,6 +215,13 @@ type Request struct {
 	// Members carries the membership digest for MsgGossip/MsgJoin/
 	// MsgLeave.
 	Members []MemberRecord
+
+	// PolicyStr and PolicyEpoch carry the cluster-wide policy version:
+	// the policy string to install on MsgPolicySet, and the sender's
+	// current policy rumor on MsgGossip/MsgJoin (epoch 0 means no live
+	// set has ever happened and is never merged).
+	PolicyStr   string
+	PolicyEpoch uint64
 }
 
 // Response answers a Request, matched by Seq.
@@ -208,6 +250,16 @@ type Response struct {
 	Table   []jobtable.Entry
 	Members []MemberRecord
 	Epoch   uint64
+
+	// PolicyStr and PolicyEpoch carry the policy version: the pull half
+	// of a gossip exchange, the new version on a MsgPolicySet reply,
+	// and the *applied* version on a MsgShareReport reply (the epoch
+	// the server's scheduler last recompiled under — what "every member
+	// reports the new policy epoch" means during a hot-swap).
+	PolicyStr   string
+	PolicyEpoch uint64
+	// Shares is the per-entity fairness report (MsgShareReport).
+	Shares []ShareRecord
 }
 
 // Error materializes the response error, nil if none.
