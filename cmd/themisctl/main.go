@@ -17,6 +17,8 @@
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 flush
 //	themisctl -servers 127.0.0.1:7000 policy set size-fair
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 policy status
+//	themisctl metrics 127.0.0.1:9100
+//	themisctl metrics 127.0.0.1:9100 themis_share_
 //
 // `cluster status` prints the membership table as seen by the first
 // server; `cluster drain` asks that server to stop owning ring segments
@@ -35,16 +37,23 @@
 // compiled token share versus measured serviced-byte share with the
 // convergence residual. See docs/OPERATIONS.md for the runbook.
 //
+// `metrics ADDR [PREFIX]` scrapes the operator endpoint a server runs
+// with -metrics-addr and prints the Prometheus exposition (optionally
+// only the lines for metric names starting with PREFIX) — the one-shot
+// debugging scrape for a fabric without a Prometheus server at hand.
+//
 // Every subcommand exits non-zero when its RPC fails — an unreachable
 // server, a refused drain, an unparseable policy string — so shell
 // scripts and CI steps can gate on it.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -100,12 +109,21 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if len(args) < 2 {
 		fmt.Fprintln(stderr,
-			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | policy {set STRING|status} | flush")
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | policy {set STRING|status} | metrics ADDR [PREFIX] | flush")
 		return 2
 	}
 	cmd, path := args[0], args[1]
 
 	switch cmd {
+	case "metrics":
+		var prefix string
+		if len(args) > 2 {
+			prefix = args[2]
+		}
+		if err := metricsCmd(stdout, path, prefix); err != nil {
+			return fail("metrics "+path, err)
+		}
+		return 0
 	case "cluster":
 		if err := clusterCmd(stdout, addrs[0], path); err != nil {
 			return fail("cluster "+path, err)
@@ -242,6 +260,39 @@ func controlExchange(addr string, req *transport.Request) (*transport.Response, 
 		return nil, resp.Error()
 	}
 	return resp, nil
+}
+
+// metricsCmd scrapes one server's operator endpoint (the address given
+// to themisd -metrics-addr, not the data-plane listen address) and
+// prints the exposition, optionally filtered to lines whose metric name
+// starts with prefix. An unreachable endpoint or a non-200 answer is an
+// error, so scripts can gate on the endpoint being up.
+func metricsCmd(w io.Writer, addr, prefix string) error {
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if prefix == "" {
+		_, err = io.Copy(w, resp.Body)
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name := line
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			name = line[len("# HELP "):]
+		}
+		if strings.HasPrefix(name, prefix) {
+			fmt.Fprintln(w, line)
+		}
+	}
+	return sc.Err()
 }
 
 // flushCmd forces one server to stage out every dirty byte. The wait is

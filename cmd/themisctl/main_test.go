@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"themisio/internal/obsv"
 	"themisio/internal/policy"
 	"themisio/internal/server"
 )
@@ -50,6 +52,43 @@ func TestExitCodeOnUnreachableServer(t *testing.T) {
 		if errOut.Len() == 0 {
 			t.Errorf("%v printed no error", argv)
 		}
+	}
+}
+
+// `metrics` against an unreachable endpoint exits non-zero; against a
+// live registry-backed endpoint it prints the exposition, and a prefix
+// argument filters to that family's lines.
+func TestMetricsCommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"metrics", deadAddr(t)}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("metrics against an unreachable endpoint exited 0")
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("metrics against an unreachable endpoint printed no error")
+	}
+
+	reg := obsv.NewRegistry()
+	reg.Counter("themis_test_total", "A counter.").Add(7)
+	reg.Gauge("other_gauge", "A gauge.").Set(1)
+	ts := httptest.NewServer(obsv.Mux(reg, func() (bool, string) { return true, "" }))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"metrics", addr}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("metrics exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "themis_test_total 7") || !strings.Contains(out.String(), "other_gauge 1") {
+		t.Fatalf("metrics output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"metrics", addr, "themis_"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("filtered metrics exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "themis_test_total 7") || strings.Contains(out.String(), "other_gauge") {
+		t.Fatalf("filtered metrics output: %q", out.String())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"themisio/internal/jobtable"
@@ -62,6 +63,10 @@ type Node struct {
 	rng   *rand.Rand
 	seq   uint64
 
+	// rounds counts completed Gossip calls (λ rounds), for the
+	// operator metrics endpoint.
+	rounds atomic.Int64
+
 	// pmu guards the cluster-wide policy version rumor. Epoch 0 is the
 	// pre-hot-swap state — every server runs its own boot policy and
 	// nothing is gossiped; the first live `policy set` anywhere starts
@@ -92,6 +97,9 @@ func NewNode(cfg Config, tab *jobtable.Table) *Node {
 
 // Membership returns the node's membership view.
 func (n *Node) Membership() *Membership { return n.mem }
+
+// GossipRounds returns the number of λ gossip rounds run since boot.
+func (n *Node) GossipRounds() int64 { return n.rounds.Load() }
 
 // PolicyVersion returns the cluster-wide policy rumor this node holds:
 // the canonical policy string and its epoch. Epoch 0 means no live
@@ -189,6 +197,7 @@ func (n *Node) Join(seeds []string, now time.Duration) error {
 // returns true if the job table or membership changed (the caller
 // recompiles token assignments).
 func (n *Node) Gossip(now time.Duration) bool {
+	n.rounds.Add(1)
 	changed := len(n.mem.Tick(now)) > 0
 	peers := n.mem.Peers()
 	for _, addr := range n.sample(peers, n.cfg.Fanout) {

@@ -108,6 +108,12 @@ type Themis struct {
 	wasted   atomic.Int64
 	compiles atomic.Int64
 
+	// drawObs, when set, is called with the wall-clock duration of every
+	// Pop that hands out a request — the operator endpoint's draw-latency
+	// histogram. Unset (the default, and every benchmark's configuration)
+	// it costs the hot path one atomic pointer load.
+	drawObs atomic.Pointer[func(time.Duration)]
+
 	// states maps job id → *jobState; entries are created on first push
 	// (or epoch publication) and never removed — job ids recur, and a
 	// zeroed counter block is cheap.
@@ -330,6 +336,20 @@ func (t *Themis) Pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 	if t.pending.Load() == 0 {
 		return nil
 	}
+	if obs := t.drawObs.Load(); obs != nil {
+		start := time.Now()
+		r := t.pop(now, allow)
+		if r != nil {
+			(*obs)(time.Since(start))
+		}
+		return r
+	}
+	return t.pop(now, allow)
+}
+
+// pop is Pop's body (split so the observer wrapper stays off the
+// uninstrumented path).
+func (t *Themis) pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 	e := t.epoch.Load()
 	if e != nil && len(e.compiled.Assignment.Segments) > 0 {
 		segs := e.compiled.Assignment.Segments
@@ -506,6 +526,40 @@ func (t *Themis) SetStrict(on bool) { t.strict.Store(on) }
 
 // Wasted returns the number of forfeited draws in strict mode.
 func (t *Themis) Wasted() int64 { return t.wasted.Load() }
+
+// Draws returns the number of lottery tokens drawn since creation
+// (every compiled-epoch draw, whether or not it yielded work).
+func (t *Themis) Draws() uint64 { return t.draws.ctr.Load() }
+
+// Backlogs returns the current queued-request count per job (all
+// classes summed). Allocates; scrape/inspection path only.
+func (t *Themis) Backlogs() map[string]int64 {
+	out := make(map[string]int64)
+	t.states.Range(func(k, v any) bool {
+		st := v.(*jobState)
+		var n int64
+		for c := range st.cls {
+			n += st.cls[c].Load()
+		}
+		if n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
+}
+
+// SetDrawObserver installs fn to be called with the latency of every
+// Pop that returns a request (nil uninstalls). Used by the operator
+// metrics endpoint's draw-latency histogram; fn must be cheap and
+// safe for concurrent calls from all workers.
+func (t *Themis) SetDrawObserver(fn func(time.Duration)) {
+	if fn == nil {
+		t.drawObs.Store(nil)
+		return
+	}
+	t.drawObs.Store(&fn)
+}
 
 // ServedBytes returns the cumulative serviced bytes per job since
 // creation (request Cost at pop time). The λ share ledger diffs

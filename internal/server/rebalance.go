@@ -3,7 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"slices"
 	"sync"
@@ -13,6 +13,7 @@ import (
 	"themisio/internal/backing"
 	"themisio/internal/cluster"
 	"themisio/internal/fsys"
+	"themisio/internal/obsv"
 	"themisio/internal/policy"
 	"themisio/internal/transport"
 )
@@ -57,7 +58,7 @@ type Migrator struct {
 	node  *cluster.Node
 	store backing.Store // nil without stage-out durability
 	job   policy.JobInfo
-	quiet bool
+	log   *slog.Logger
 
 	// running admits one pass at a time (the controller ticks every λ;
 	// a tick that finds a pass in flight changes nothing). planned is
@@ -95,15 +96,18 @@ type pendingDrop struct {
 }
 
 // NewMigrator builds a migration coordinator for the shard owned by
-// server self.
-func NewMigrator(self string, shard *fsys.Shard, node *cluster.Node, store backing.Store, quiet bool) *Migrator {
+// server self. logger receives migration progress (nil discards).
+func NewMigrator(self string, shard *fsys.Shard, node *cluster.Node, store backing.Store, logger *slog.Logger) *Migrator {
+	if logger == nil {
+		logger = obsv.NopLogger()
+	}
 	return &Migrator{
 		self:  self,
 		shard: shard,
 		node:  node,
 		store: store,
 		job:   policy.RebalanceJob(self),
-		quiet: quiet,
+		log:   logger,
 		conns: map[string]*transport.Conn{},
 	}
 }
@@ -268,8 +272,9 @@ func (m *Migrator) ZombieSweep() {
 		if resp.IsDir || resp.LayoutGen <= fi.LayoutGen || slices.Contains(resp.StripeSet, m.self) {
 			continue
 		}
-		if m.shard.MigrateDrop(p, gen) && !m.quiet {
-			log.Printf("themisd: retired zombie stripe %s (superseded by layout gen %d on %s)", p, resp.LayoutGen, owner)
+		if m.shard.MigrateDrop(p, gen) {
+			m.log.Info("retired zombie stripe",
+				"path", p, "superseded_gen", resp.LayoutGen, "owner", owner)
 		}
 	}
 }

@@ -15,7 +15,7 @@ package server
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"slices"
 	"sync"
@@ -28,6 +28,7 @@ import (
 	"themisio/internal/fsys"
 	"themisio/internal/jobtable"
 	"themisio/internal/metrics"
+	"themisio/internal/obsv"
 	"themisio/internal/policy"
 	"themisio/internal/sched"
 	"themisio/internal/transport"
@@ -90,7 +91,18 @@ type Config struct {
 	// default): with it set, a newly joined member receives new
 	// placements but existing files never migrate toward it.
 	RebalanceDisabled bool
-	// Quiet disables logging.
+	// Logger receives the server's structured log output; the server
+	// adds component and addr attributes. Nil selects slog.Default()
+	// (the owning binary decides handler, level and prefix — this
+	// package no longer hardcodes a "themisd:" prefix).
+	Logger *slog.Logger
+	// Metrics, when set, wires the full fabric instrumentation —
+	// scheduler, transport, workers, backing, rebalance, cluster, and
+	// the per-entity share ledger — into this registry. One registry
+	// per server: families are registered once in New. Nil disables
+	// instrumentation entirely (the hot path pays only nil checks).
+	Metrics *obsv.Registry
+	// Quiet disables logging (overrides Logger with a no-op handler).
 	Quiet bool
 }
 
@@ -106,6 +118,11 @@ type Server struct {
 	migr    *Migrator
 	bootErr error
 	start   time.Time
+	log     *slog.Logger
+	met     *serverMetrics
+
+	// recoverPasses counts failover-reconciliation passes (metrics).
+	recoverPasses atomic.Int64
 
 	// applied is the policy the scheduler last recompiled under: the
 	// canonical string plus the cluster policy epoch it arrived at (0 =
@@ -196,24 +213,50 @@ func New(ln net.Listener, cfg Config) *Server {
 	}
 	s.applied.Store(&appliedPolicy{str: cfg.Policy.String()})
 	s.ledger = metrics.NewShareLedger(0)
+	base := cfg.Logger
+	if cfg.Quiet {
+		base = obsv.NopLogger()
+	} else if base == nil {
+		base = slog.Default()
+	}
+	base = base.With("addr", addr)
+	s.log = base.With("component", "server")
 	if cfg.Backing != nil {
 		// Stage-in: restore whatever this server staged out before its
 		// last shutdown or crash (keyed by the listen address). A failed
 		// re-hydration is fatal to Serve: running with a partial shard
 		// would silently diverge from (and then corrupt) the staged
-		// state.
+		// state. The server object is still fully constructed — migrator,
+		// metrics and all — so the operator endpoint can report the
+		// failure (healthz 503) instead of vanishing.
 		n, err := backing.Rehydrate(shard, cfg.Backing, addr)
 		if err != nil {
 			s.bootErr = err
-			return s
+		} else {
+			if n > 0 {
+				s.log.Info("rehydrated from backing store", "entries", n)
+			}
+			s.drain = backing.NewDrainer(addr, shard, cfg.Backing)
 		}
-		if n > 0 && !cfg.Quiet {
-			log.Printf("themisd: rehydrated %d entries from backing store", n)
-		}
-		s.drain = backing.NewDrainer(addr, shard, cfg.Backing)
 	}
-	s.migr = NewMigrator(addr, shard, s.node, cfg.Backing, cfg.Quiet)
+	s.migr = NewMigrator(addr, shard, s.node, cfg.Backing, base.With("component", "rebalance"))
+	if cfg.Metrics != nil {
+		s.met = newServerMetrics(cfg.Metrics, s)
+	}
 	return s
+}
+
+// Ready reports whether the server is able to serve: false with a
+// reason while a failed boot (BootErr) blocks Serve or after Close.
+// The operator endpoint's /healthz answers from this.
+func (s *Server) Ready() (bool, string) {
+	if err := s.bootErr; err != nil {
+		return false, "boot failed: " + err.Error()
+	}
+	if s.closed.Load() {
+		return false, "closed"
+	}
+	return true, ""
 }
 
 // appliedPolicy is one published (policy string, cluster policy epoch)
@@ -261,7 +304,7 @@ func (s *Server) now() time.Duration { return time.Since(s.start) }
 // refuses to serve after a failed boot (see BootErr).
 func (s *Server) Serve() {
 	if s.bootErr != nil {
-		log.Printf("themisd: refusing to serve: %v", s.bootErr)
+		s.log.Error("refusing to serve", "err", s.bootErr)
 		return
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -276,13 +319,11 @@ func (s *Server) Serve() {
 			if s.closed.Load() {
 				return
 			}
-			if !s.cfg.Quiet {
-				log.Printf("themisd: accept: %v", err)
-			}
+			s.log.Warn("accept failed", "err", err)
 			return
 		}
 		s.wg.Add(1)
-		go s.handleConn(transport.NewConn(conn))
+		go s.handleConn(s.newConn(conn))
 	}
 }
 
@@ -308,8 +349,8 @@ func (s *Server) Close() {
 // is flushed first, so a graceful shutdown never loses bytes.
 func (s *Server) Leave() {
 	if !s.closed.Load() {
-		if err := s.Flush(); err != nil && !s.cfg.Quiet {
-			log.Printf("themisd: stage-out on leave: %v", err)
+		if err := s.Flush(); err != nil {
+			s.log.Warn("stage-out on leave failed", "err", err)
 		}
 		s.node.Leave(s.now())
 	}
@@ -516,14 +557,15 @@ func (s *Server) worker() {
 			case *pending:
 				resp := s.execute(p.req)
 				s.served.Add(1)
-				if err := p.conn.SendResponse(resp); err != nil && !s.cfg.Quiet {
-					log.Printf("themisd: reply: %v", err)
+				if err := p.conn.SendResponse(resp); err != nil {
+					s.log.Warn("reply failed", "err", err)
 				}
+				s.met.observeRequest(r.Op, s.now()-r.Arrive)
 			case *backing.Task:
 				// A stage-out chunk the token draw selected: the sharing
 				// policy has already arbitrated it against foreground I/O.
-				if err := p.Run(); err != nil && !s.cfg.Quiet {
-					log.Printf("themisd: stage-out: %v", err)
+				if err := p.Run(); err != nil {
+					s.log.Warn("stage-out chunk failed", "err", err)
 				}
 			}
 		}
@@ -687,8 +729,8 @@ func (s *Server) controller() {
 		if !joined {
 			if err := s.node.Join(seeds, s.now()); err == nil {
 				joined = true
-			} else if !s.cfg.Quiet {
-				log.Printf("themisd: join pending: %v", err)
+			} else {
+				s.log.Info("join pending", "err", err)
 			}
 		}
 		s.node.Gossip(s.now())
@@ -734,16 +776,12 @@ func (s *Server) applyPolicy() {
 	if err != nil {
 		// Rumors are validated at set and merge; an unparseable one here
 		// means a version skew bug — keep the running policy.
-		if !s.cfg.Quiet {
-			log.Printf("themisd: ignoring bad policy rumor %q: %v", str, err)
-		}
+		s.log.Warn("ignoring bad policy rumor", "policy", str, "err", err)
 		return
 	}
 	s.sched.SetPolicy(pol)
 	s.applied.Store(&appliedPolicy{str: pol.String(), epoch: epoch})
-	if !s.cfg.Quiet {
-		log.Printf("themisd: policy hot-swap: %s (policy epoch %d)", pol, epoch)
-	}
+	s.log.Info("policy hot-swap", "policy", pol.String(), "policy_epoch", epoch)
 }
 
 // shareRecords converts ledger entries to their wire form.
@@ -860,6 +898,7 @@ func (s *Server) recoverFailed() {
 
 // recoverPass is one reconciliation pass (see recoverFailed).
 func (s *Server) recoverPass() {
+	s.recoverPasses.Add(1)
 	var dead []string
 	for _, m := range s.node.Membership().Snapshot() {
 		if m.State != cluster.StateFailed && m.State != cluster.StateLeft {
@@ -878,8 +917,8 @@ func (s *Server) recoverPass() {
 		switch {
 		case ticks == goneDone:
 		case ticks == 1:
-			if err := backing.StageAffected(s.shard, s.cfg.Backing, s.Addr(), []string{m.Addr}); err != nil && !s.cfg.Quiet {
-				log.Printf("themisd: pre-staging for %s: %v", m.Addr, err)
+			if err := backing.StageAffected(s.shard, s.cfg.Backing, s.Addr(), []string{m.Addr}); err != nil {
+				s.log.Warn("pre-staging failed", "member", m.Addr, "err", err)
 			}
 		case ticks >= recoverDelayTicks:
 			dead = append(dead, m.Addr)
@@ -892,9 +931,7 @@ func (s *Server) recoverPass() {
 	adopted, dropped, err := backing.RecoverSegment(s.shard, s.cfg.Backing, s.Addr(), dead,
 		func(path string) (string, bool) { return ring.Lookup(path) })
 	if err != nil {
-		if !s.cfg.Quiet {
-			log.Printf("themisd: recovery after %v: %v (will retry)", dead, err)
-		}
+		s.log.Warn("recovery failed, will retry", "dead", fmt.Sprint(dead), "err", err)
 		return
 	}
 	s.goneMu.Lock()
@@ -902,8 +939,8 @@ func (s *Server) recoverPass() {
 		s.gone[a] = goneDone
 	}
 	s.goneMu.Unlock()
-	if (adopted > 0 || dropped > 0) && !s.cfg.Quiet {
-		log.Printf("themisd: recovered ring segment of %v: adopted %d files, dropped %d stale stripes",
-			dead, adopted, dropped)
+	if adopted > 0 || dropped > 0 {
+		s.log.Info("recovered ring segment",
+			"dead", fmt.Sprint(dead), "adopted_files", adopted, "dropped_stripes", dropped)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"themisio/internal/jobtable"
 )
@@ -31,13 +32,27 @@ const maxFrame = 1 << 30
 
 type frameBuf struct{ b []byte }
 
-var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+// poolGets / poolMisses meter the scratch pool for the operator
+// metrics endpoint: a miss is a Get the pool could not serve from a
+// recycled buffer (the New path). See PoolStats.
+var poolGets, poolMisses atomic.Int64
+
+var framePool = sync.Pool{New: func() any {
+	poolMisses.Add(1)
+	return &frameBuf{b: make([]byte, 0, 4096)}
+}}
+
+// getFrameBuf is the metered Get.
+func getFrameBuf() *frameBuf {
+	poolGets.Add(1)
+	return framePool.Get().(*frameBuf)
+}
 
 // writeFrame encodes one message with the pooled scratch buffer and
 // writes it — magic first if this stream has not sent one — as a single
 // raw write. Callers hold c.wmu.
 func (c *Conn) writeFrame(encode func([]byte) []byte) error {
-	buf := framePool.Get().(*frameBuf)
+	buf := getFrameBuf()
 	b := buf.b[:0]
 	withMagic := !c.magicSent
 	if withMagic {
@@ -54,7 +69,7 @@ func (c *Conn) writeFrame(encode func([]byte) []byte) error {
 		return fmt.Errorf("transport: frame exceeds %d bytes", maxFrame)
 	}
 	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
-	_, err := c.raw.Write(b)
+	_, err := c.w.Write(b)
 	if err == nil && withMagic {
 		c.magicSent = true
 	}
@@ -74,7 +89,7 @@ func (c *Conn) readFrame(decode func([]byte) error) error {
 	if n > maxFrame {
 		return fmt.Errorf("transport: frame of %d bytes", n)
 	}
-	buf := framePool.Get().(*frameBuf)
+	buf := getFrameBuf()
 	if cap(buf.b) < int(n) {
 		buf.b = make([]byte, n)
 	}

@@ -32,6 +32,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -308,7 +309,18 @@ var binMagic = [4]byte{0x00, 'T', 'B', '1'}
 // for the negotiation rules.
 type Conn struct {
 	raw net.Conn
-	br  *bufio.Reader
+	// w is where encoded frames go: raw, or the counting wrapper when
+	// the connection carries Stats.
+	w  io.Writer
+	br *bufio.Reader
+
+	// Accounting state (nil/zero without Stats — see NewConnStats).
+	// cr/lastRecvPos are owned by the reader goroutine; cw is guarded
+	// by wmu like all send state.
+	stats       *Stats
+	cr          *countReader
+	cw          *countWriter
+	lastRecvPos int64
 
 	// Send state, guarded by wmu. sendBin may additionally be flipped by
 	// the receive path (codec adoption) before the first reply is sent;
@@ -330,7 +342,7 @@ type Conn struct {
 // auto-detect the peer's codec, and — this being the accept side — the
 // send direction adopts the detected codec for replies.
 func NewConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, br: bufio.NewReader(raw), adopt: true}
+	return &Conn{raw: raw, w: raw, br: bufio.NewReader(raw), adopt: true}
 }
 
 // NewBinaryConn wraps a net.Conn in binary mode (the dial side of a data
@@ -338,7 +350,7 @@ func NewConn(raw net.Conn) *Conn {
 // magic; receives still auto-detect, so a reply stream from either kind
 // of peer is understood.
 func NewBinaryConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, br: bufio.NewReader(raw), sendBin: true}
+	return &Conn{raw: raw, w: raw, br: bufio.NewReader(raw), sendBin: true}
 }
 
 // detect inspects the first bytes of the receive stream and locks in the
@@ -370,26 +382,46 @@ func (c *Conn) detect() error {
 func (c *Conn) SendRequest(r *Request) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	var before int64
+	if c.stats != nil {
+		before = c.cw.n
+	}
+	var err error
 	if c.sendBin {
-		return c.writeFrame(func(b []byte) []byte { return appendRequest(b, r) })
+		err = c.writeFrame(func(b []byte) []byte { return appendRequest(b, r) })
+	} else {
+		if c.enc == nil {
+			c.enc = gob.NewEncoder(c.w)
+		}
+		err = c.enc.Encode(r)
 	}
-	if c.enc == nil {
-		c.enc = gob.NewEncoder(c.raw)
+	if err == nil && c.stats != nil {
+		c.stats.count(DirOut, int(r.Type), c.cw.n-before)
 	}
-	return c.enc.Encode(r)
+	return err
 }
 
 // SendResponse writes a response frame.
 func (c *Conn) SendResponse(r *Response) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	var before int64
+	if c.stats != nil {
+		before = c.cw.n
+	}
+	var err error
 	if c.sendBin {
-		return c.writeFrame(func(b []byte) []byte { return appendResponse(b, r) })
+		err = c.writeFrame(func(b []byte) []byte { return appendResponse(b, r) })
+	} else {
+		if c.enc == nil {
+			c.enc = gob.NewEncoder(c.w)
+		}
+		err = c.enc.Encode(r)
 	}
-	if c.enc == nil {
-		c.enc = gob.NewEncoder(c.raw)
+	if err == nil && c.stats != nil {
+		c.stats.count(DirOut, respSlot, c.cw.n-before)
 	}
-	return c.enc.Encode(r)
+	return err
 }
 
 // RecvRequest reads a request frame (server side).
@@ -402,6 +434,9 @@ func (c *Conn) RecvRequest() (*Request, error) {
 		if err := c.readFrame(func(b []byte) error { return decodeRequest(b, r) }); err != nil {
 			return nil, err
 		}
+		if c.stats != nil {
+			c.noteRecv(int(r.Type))
+		}
 		return r, nil
 	}
 	if c.dec == nil {
@@ -410,6 +445,9 @@ func (c *Conn) RecvRequest() (*Request, error) {
 	var r Request
 	if err := c.dec.Decode(&r); err != nil {
 		return nil, err
+	}
+	if c.stats != nil {
+		c.noteRecv(int(r.Type))
 	}
 	return &r, nil
 }
@@ -424,6 +462,9 @@ func (c *Conn) RecvResponse() (*Response, error) {
 		if err := c.readFrame(func(b []byte) error { return decodeResponse(b, r) }); err != nil {
 			return nil, err
 		}
+		if c.stats != nil {
+			c.noteRecv(respSlot)
+		}
 		return r, nil
 	}
 	if c.dec == nil {
@@ -432,6 +473,9 @@ func (c *Conn) RecvResponse() (*Response, error) {
 	var r Response
 	if err := c.dec.Decode(&r); err != nil {
 		return nil, err
+	}
+	if c.stats != nil {
+		c.noteRecv(respSlot)
 	}
 	return &r, nil
 }
