@@ -7,6 +7,7 @@
 //	benchrun -exp fig8a
 //	benchrun -exp all
 //	benchrun -bench 'ThemisContended|Codec' -benchtime 100x -out BENCH.json . ./internal/cluster
+//	benchrun -regress BENCH_PR6.json fresh1.json fresh2.json
 //
 // Every experiment is deterministic: fixed seeds, virtual time.
 //
@@ -31,7 +32,23 @@ func main() {
 	bench := flag.String("bench", "", "run `go test` benchmarks matching this regex and emit a JSON trajectory")
 	benchtime := flag.String("benchtime", "100x", "benchtime passed to `go test` in -bench mode")
 	out := flag.String("out", "", "JSON output path in -bench mode (default stdout)")
+	regress := flag.String("regress", "",
+		"baseline trajectory JSON; compare the fresh sample files given as positional args and exit non-zero on regression")
+	guard := flag.String("guard", defaultGuard, "regex of benchmark names the -regress gate enforces")
+	tolerance := flag.Float64("tolerance", 0.20, "fractional regression allowed by -regress (0.20 = 20%)")
 	flag.Parse()
+
+	if *regress != "" {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchrun: -regress needs at least one fresh sample JSON as a positional argument")
+			os.Exit(2)
+		}
+		if err := runRegress(os.Stdout, *guard, *tolerance, *regress, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench != "" {
 		pkgs := flag.Args()

@@ -1,0 +1,137 @@
+// Regression-gate mode: compare a freshly measured bench trajectory
+// against a committed baseline and fail when a guarded benchmark got
+// meaningfully worse. The gate is deliberately narrow — only the
+// benchmarks matching the guard regex count, because the shared CI
+// runners are noisy enough that gating every micro-benchmark would
+// flap — and tolerant: more than one fresh sample file may be given
+// and the best value per benchmark is compared, so a single descheduled
+// run cannot fail the build on its own.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+)
+
+// defaultGuard covers the zero-copy data plane's two acceptance
+// numbers: striped fabric throughput (MB/s) and the wire codec
+// (ns/op).
+const defaultGuard = "StripedThroughput|Codec/binary"
+
+// loadBenchFile reads one trajectory JSON produced by -bench mode.
+func loadBenchFile(path string) (*BenchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// bestResults folds several sample files into the best observation per
+// benchmark name: highest MB/s, lowest ns/op, lowest allocs/op. Taking
+// the per-metric best across runs is the standard noisy-runner defence
+// (a benchmark's true cost is its minimum, everything above is
+// interference).
+func bestResults(files []*BenchFile) map[string]BenchResult {
+	best := map[string]BenchResult{}
+	for _, f := range files {
+		for _, r := range f.Results {
+			b, ok := best[r.Name]
+			if !ok {
+				best[r.Name] = r
+				continue
+			}
+			if r.MBPerS > b.MBPerS {
+				b.MBPerS = r.MBPerS
+			}
+			if r.NsPerOp < b.NsPerOp {
+				b.NsPerOp = r.NsPerOp
+			}
+			if r.AllocsPerOp < b.AllocsPerOp {
+				b.AllocsPerOp = r.AllocsPerOp
+			}
+			best[r.Name] = b
+		}
+	}
+	return best
+}
+
+// runRegress compares the best of the fresh sample files against the
+// baseline for every benchmark matching guard, and returns an error
+// listing every guarded benchmark whose MB/s dropped, or whose ns/op
+// rose, by more than tolerance (a fraction: 0.2 = 20%). Benchmarks
+// present only on one side are skipped — a renamed or new benchmark is
+// not a regression — but a baseline whose guard matches nothing is an
+// error, so a typo in the guard cannot pass vacuously.
+func runRegress(w io.Writer, guard string, tolerance float64, baselinePath string, freshPaths []string) error {
+	re, err := regexp.Compile(guard)
+	if err != nil {
+		return fmt.Errorf("benchrun: bad -guard regex: %v", err)
+	}
+	baseFile, err := loadBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var fresh []*BenchFile
+	for _, p := range freshPaths {
+		f, err := loadBenchFile(p)
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, f)
+	}
+	base := bestResults([]*BenchFile{baseFile})
+	cur := bestResults(fresh)
+
+	guarded := 0
+	var failures []string
+	for name, b := range base {
+		if !re.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(w, "SKIP %s: not in fresh samples\n", name)
+			continue
+		}
+		guarded++
+		switch {
+		case b.MBPerS > 0:
+			floor := b.MBPerS * (1 - tolerance)
+			verdict := "ok"
+			if c.MBPerS < floor {
+				verdict = "REGRESSED"
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f MB/s vs baseline %.1f (floor %.1f)", name, c.MBPerS, b.MBPerS, floor))
+			}
+			fmt.Fprintf(w, "%-55s %9.1f MB/s  baseline %9.1f  %s\n", name, c.MBPerS, b.MBPerS, verdict)
+		case b.NsPerOp > 0:
+			ceil := b.NsPerOp * (1 + tolerance)
+			verdict := "ok"
+			if c.NsPerOp > ceil {
+				verdict = "REGRESSED"
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f (ceiling %.0f)", name, c.NsPerOp, b.NsPerOp, ceil))
+			}
+			fmt.Fprintf(w, "%-55s %9.0f ns/op  baseline %9.0f  %s\n", name, c.NsPerOp, b.NsPerOp, verdict)
+		}
+	}
+	if guarded == 0 {
+		return fmt.Errorf("benchrun: guard %q matched no baseline benchmarks", guard)
+	}
+	if len(failures) > 0 {
+		msg := "benchrun: perf regression:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

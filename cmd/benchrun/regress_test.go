@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, results []BenchResult) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	raw, err := json.Marshal(&BenchFile{GoVersion: "test", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRegressGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", []BenchResult{
+		{Name: "BenchmarkStripedThroughput/servers=4", MBPerS: 1000, NsPerOp: 5e6},
+		{Name: "BenchmarkCodec/binary/write-req", NsPerOp: 30000},
+		{Name: "BenchmarkUnguarded", NsPerOp: 10},
+	})
+
+	// Within tolerance (and an unguarded benchmark tanking) passes.
+	ok := writeBench(t, dir, "ok.json", []BenchResult{
+		{Name: "BenchmarkStripedThroughput/servers=4", MBPerS: 850, NsPerOp: 6e6},
+		{Name: "BenchmarkCodec/binary/write-req", NsPerOp: 35000},
+		{Name: "BenchmarkUnguarded", NsPerOp: 10000},
+	})
+	var out bytes.Buffer
+	if err := runRegress(&out, defaultGuard, 0.20, base, []string{ok}); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "StripedThroughput") {
+		t.Fatalf("report missing guarded benchmark: %q", out.String())
+	}
+
+	// A throughput drop past tolerance fails and names the benchmark.
+	slow := writeBench(t, dir, "slow.json", []BenchResult{
+		{Name: "BenchmarkStripedThroughput/servers=4", MBPerS: 700, NsPerOp: 7e6},
+		{Name: "BenchmarkCodec/binary/write-req", NsPerOp: 31000},
+	})
+	out.Reset()
+	err := runRegress(&out, defaultGuard, 0.20, base, []string{slow})
+	if err == nil || !strings.Contains(err.Error(), "StripedThroughput") {
+		t.Fatalf("regressed throughput not caught: %v", err)
+	}
+
+	// Best-of-N: a second clean sample rescues one descheduled run.
+	out.Reset()
+	if err := runRegress(&out, defaultGuard, 0.20, base, []string{slow, ok}); err != nil {
+		t.Fatalf("best-of-two should pass: %v\n%s", err, out.String())
+	}
+
+	// A codec slowdown past tolerance fails on ns/op.
+	slowCodec := writeBench(t, dir, "slowcodec.json", []BenchResult{
+		{Name: "BenchmarkStripedThroughput/servers=4", MBPerS: 1100, NsPerOp: 5e6},
+		{Name: "BenchmarkCodec/binary/write-req", NsPerOp: 60000},
+	})
+	out.Reset()
+	if err := runRegress(&out, defaultGuard, 0.20, base, []string{slowCodec}); err == nil ||
+		!strings.Contains(err.Error(), "Codec") {
+		t.Fatalf("regressed codec not caught: %v", err)
+	}
+
+	// A guard that matches nothing is an error, not a vacuous pass.
+	if err := runRegress(&out, "NoSuchBench", 0.20, base, []string{ok}); err == nil {
+		t.Fatal("empty guard match must fail")
+	}
+
+	// A benchmark missing from the fresh samples is skipped, not failed.
+	partial := writeBench(t, dir, "partial.json", []BenchResult{
+		{Name: "BenchmarkCodec/binary/write-req", NsPerOp: 30000},
+	})
+	out.Reset()
+	if err := runRegress(&out, defaultGuard, 0.20, base, []string{partial}); err != nil {
+		t.Fatalf("missing fresh benchmark must skip: %v", err)
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("skip not reported: %q", out.String())
+	}
+}

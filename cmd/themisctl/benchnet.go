@@ -1,0 +1,195 @@
+// `bench net ADDR` — the data-plane throughput probe: stream a bounded
+// append workload at one server over a single instrumented binary
+// connection and report what the wire actually did. The probe answers
+// the first capacity-planning question (how fast is this link through
+// the real codec, scheduler and shard, end to end) and the first
+// zero-copy regression question (are large payloads still riding out
+// as their own iovec, one write syscall per frame) without perf, and
+// without a Prometheus server: the numbers come from the same
+// transport.Stats counters the operator metrics endpoint exports.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"themisio/internal/client"
+	"themisio/internal/cluster"
+	"themisio/internal/policy"
+	"themisio/internal/transport"
+)
+
+const (
+	benchNetTotal  = 64 << 20  // bytes streamed by the probe
+	benchNetFrame  = 256 << 10 // payload per MsgWrite frame
+	benchNetWindow = 8         // appends in flight on the conn
+)
+
+// benchNetCmd runs the probe against addr. The scratch file is created
+// and removed through the client library (so it gets a well-formed
+// stripe layout); the measured stream itself is a raw pipelined
+// MsgWrite sequence on its own instrumented connection.
+func benchNetCmd(stdout io.Writer, addr string) error {
+	job := policy.JobInfo{JobID: "themisctl-bench", UserID: "operator", GroupID: "staff", Nodes: 1}
+
+	// Dial the whole fabric, not just addr: a create whose stripe set
+	// diverges from the membership ring is itself a rebalance trigger
+	// (the migrator would move the scratch file away mid-stream), so the
+	// probe must pick a path the ring naturally places on addr.
+	servers := []string{addr}
+	if resp, err := controlExchange(addr, &transport.Request{Type: transport.MsgClusterStatus}); err == nil {
+		var alive []string
+		for _, m := range cluster.FromRecords(resp.Members) {
+			if m.State == cluster.StateAlive {
+				alive = append(alive, m.Addr)
+			}
+		}
+		if len(alive) > 0 {
+			servers = alive
+		}
+	}
+	c, err := client.Dial(job, servers)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var (
+		path string
+		fd   int
+	)
+	for i := 0; ; i++ {
+		if i == 256 {
+			return fmt.Errorf("bench net: no scratch path places on %s (draining?)", addr)
+		}
+		path = fmt.Sprintf("/.bench-net-%d-%d", os.Getpid(), i)
+		if fd, err = c.Open(path, true); err != nil {
+			return err
+		}
+		set, _, err := c.Layout(path)
+		if err != nil {
+			return err
+		}
+		if len(set) > 0 && set[0] == addr {
+			break
+		}
+		c.CloseFd(fd)
+		if err := c.Unlink(path); err != nil {
+			return err
+		}
+	}
+	defer c.Unlink(path)
+	defer c.CloseFd(fd)
+
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	st := &transport.Stats{}
+	conn := transport.NewBinaryConnStats(raw, st)
+	defer conn.Close()
+
+	// Writes must echo the file's layout generation or a fabric whose
+	// epoch has moved past the create answers stale-layout; the stat
+	// also warms the conn before the timed stream.
+	if err := conn.SendRequest(&transport.Request{
+		Type: transport.MsgStat, Seq: 1, Job: job, Path: path,
+	}); err != nil {
+		return err
+	}
+	statResp, err := conn.RecvResponse()
+	if err != nil {
+		return err
+	}
+	if statResp.Err != "" {
+		return statResp.Error()
+	}
+	layoutGen := statResp.LayoutGen
+	statResp.Release()
+
+	vec0, vecBytes0, flat0 := transport.IOStats()
+	payload := make([]byte, benchNetFrame)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames := benchNetTotal / benchNetFrame
+
+	// Window the appends: up to benchNetWindow unacked frames keep the
+	// pipe full; the reader goroutine drains acks and surfaces the
+	// first server-side error.
+	sem := make(chan struct{}, benchNetWindow)
+	done := make(chan struct{})
+	var (
+		wg      sync.WaitGroup
+		readErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done) // a dead reader must not strand the sender on sem
+		for i := 0; i < frames; i++ {
+			resp, err := conn.RecvResponse()
+			if err != nil {
+				readErr = err
+				return
+			}
+			if resp.Err != "" && readErr == nil {
+				readErr = resp.Error()
+			}
+			resp.Release()
+			<-sem
+		}
+	}()
+	start := time.Now()
+	var sendErr error
+send:
+	for i := 0; i < frames; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-done:
+			break send
+		}
+		if err := conn.SendRequest(&transport.Request{
+			Type: transport.MsgWrite, Seq: uint64(i + 2), Job: job,
+			Path: path, Data: payload, LayoutGen: layoutGen,
+		}); err != nil {
+			sendErr = err
+			conn.Close() // unblocks the reader
+			break
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if sendErr != nil {
+		return sendErr
+	}
+	if readErr != nil {
+		return readErr
+	}
+
+	// Distill: throughput from the wall clock, wire accounting from the
+	// Stats rows, write-syscall economy from the process-wide IOStats
+	// deltas (this probe's conn is the only data-plane sender in the
+	// process, so the delta is its own).
+	var outFrames, outBytes int64
+	st.Snapshot(func(typ, dir string, f, b int64) {
+		if typ == transport.MsgWrite.String() && dir == "out" {
+			outFrames, outBytes = f, b
+		}
+	})
+	vec1, vecBytes1, flat1 := transport.IOStats()
+	writeCalls := (vec1 - vec0) + (flat1 - flat0)
+	mbps := float64(benchNetTotal) / (1 << 20) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "%s\t%d MiB in %d frames, %.1f MB/s\n",
+		addr, benchNetTotal>>20, outFrames, mbps)
+	fmt.Fprintf(stdout, "%s\twire %d bytes (%.1f bytes/frame overhead), %.2f write syscalls/frame, %d/%d frames vectored (%d MiB as iovecs)\n",
+		addr, outBytes,
+		float64(outBytes-int64(frames)*benchNetFrame)/float64(frames),
+		float64(writeCalls)/float64(frames),
+		vec1-vec0, writeCalls, (vecBytes1-vecBytes0)>>20)
+	return nil
+}

@@ -19,6 +19,8 @@
 //	themisctl -servers 127.0.0.1:7000,127.0.0.1:7001 policy status
 //	themisctl metrics 127.0.0.1:9100
 //	themisctl metrics 127.0.0.1:9100 themis_share_
+//	themisctl bench net 127.0.0.1:7000
+//	themisctl -servers 127.0.0.1:7000 -stripes 4 -stripe-unit auto put /data/x < local.bin
 //
 // `cluster status` prints the membership table as seen by the first
 // server; `cluster drain` asks that server to stop owning ring segments
@@ -42,6 +44,15 @@
 // only the lines for metric names starting with PREFIX) — the one-shot
 // debugging scrape for a fabric without a Prometheus server at hand.
 //
+// `bench net ADDR` streams a bounded append workload at one server
+// over an instrumented connection and prints the achieved MB/s, the
+// wire overhead per frame, and the write-syscall economy of the
+// scatter-gather send path (see benchnet.go).
+//
+// `-stripe-unit auto` sizes each created file's stripe unit from the
+// client's measured bandwidth-delay product instead of a fixed byte
+// count.
+//
 // Every subcommand exits non-zero when its RPC fails — an unreachable
 // server, a refused drain, an unparseable policy string — so shell
 // scripts and CI steps can gate on it.
@@ -55,6 +66,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -82,8 +94,14 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	group := fs.String("group", "staff", "group id")
 	nodes := fs.Int("nodes", 1, "job size in nodes")
 	stripes := fs.Int("stripes", 1, "servers each file's data spans")
-	stripeUnit := fs.Int64("stripe-unit", 0, "bytes per stripe chunk (0 = default)")
+	stripeUnitStr := fs.String("stripe-unit", "0",
+		"bytes per stripe chunk (0 = default, 'auto' = size from the measured bandwidth-delay product)")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	stripeUnit, err := parseStripeUnit(*stripeUnitStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "themisctl: -stripe-unit: %v\n", err)
 		return 2
 	}
 	args := fs.Args()
@@ -109,12 +127,20 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if len(args) < 2 {
 		fmt.Fprintln(stderr,
-			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | policy {set STRING|status} | metrics ADDR [PREFIX] | flush")
+			"usage: themisctl [flags] {put|get|ls|stat|rm|mkdir} PATH | cluster {status|drain} | rebalance status | policy {set STRING|status} | metrics ADDR [PREFIX] | bench net ADDR | flush")
 		return 2
 	}
 	cmd, path := args[0], args[1]
 
 	switch cmd {
+	case "bench":
+		if path != "net" || len(args) < 3 {
+			return usage("bench", fmt.Errorf("usage: bench net ADDR"))
+		}
+		if err := benchNetCmd(stdout, args[2]); err != nil {
+			return fail("bench net "+args[2], err)
+		}
+		return 0
 	case "metrics":
 		var prefix string
 		if len(args) > 2 {
@@ -167,7 +193,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	c, err := client.DialOpts(policy.JobInfo{
 		JobID: *jobID, UserID: *user, GroupID: *group, Nodes: *nodes,
-	}, addrs, client.Options{Stripes: *stripes, StripeUnit: *stripeUnit})
+	}, addrs, client.Options{Stripes: *stripes, StripeUnit: stripeUnit})
 	if err != nil {
 		return fail(cmd+" "+path, err)
 	}
@@ -235,6 +261,19 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return fail(cmd+" "+path, err)
 	}
 	return 0
+}
+
+// parseStripeUnit parses the -stripe-unit flag: a byte count, or
+// "auto" for BDP-adaptive unit sizing (client.AutoStripeUnit).
+func parseStripeUnit(s string) (int64, error) {
+	if strings.EqualFold(s, "auto") {
+		return client.AutoStripeUnit, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a byte count or 'auto', got %q", s)
+	}
+	return n, nil
 }
 
 // controlExchange performs one control request/response round trip with

@@ -2,6 +2,7 @@ package chash
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -171,6 +172,49 @@ func TestOccupancyBalance(t *testing.T) {
 		mean := float64(total) / float64(servers)
 		if ratio := float64(max) / mean; ratio > 1.35 {
 			t.Fatalf("%d servers: max/mean = %.3f, want <= 1.35", servers, ratio)
+		}
+	}
+}
+
+// Occupancy guard at scale: the max/mean key-load ratio must track the
+// balls-in-boxes bound for consistent hashing with v virtual nodes per
+// server — max/mean ≲ 1 + c·sqrt(ln n / v) for n servers (Karlin-style
+// arc-length concentration, arXiv:2203.08918) — so doubling the vnode
+// count provably tightens the spread instead of just shuffling it.
+// c = 2.5 absorbs the constant in the concentration bound and a slack
+// term covers finite-key sampling noise (100k keys ≈ ±2σ of 1/sqrt(k̄)
+// per shard). A regression that flattens vnode growth (e.g. hashing
+// the server name once and offsetting) fails the tight high-v rows.
+func TestOccupancyKarlinBound(t *testing.T) {
+	const keys = 100000
+	all := make([]string, keys)
+	for i := range all {
+		all[i] = fmt.Sprintf("/data/job%d/ckpt.%d", i%997, i)
+	}
+	for _, servers := range []int{8, 16} {
+		for _, vnodes := range []int{64, 128, 256, 512} {
+			r := New(vnodes)
+			for i := 0; i < servers; i++ {
+				r.Add(fmt.Sprintf("srv%02d", i))
+			}
+			loads := r.Loads(all)
+			max, total := 0, 0
+			for _, n := range loads {
+				total += n
+				if n > max {
+					max = n
+				}
+			}
+			if total != keys {
+				t.Fatalf("n=%d v=%d: Loads accounted %d keys, want %d", servers, vnodes, total, keys)
+			}
+			mean := float64(total) / float64(servers)
+			sampling := 2 / math.Sqrt(mean) // ±2σ multinomial noise per shard
+			bound := 1 + 2.5*math.Sqrt(math.Log(float64(servers))/float64(vnodes)) + sampling
+			if ratio := float64(max) / mean; ratio > bound {
+				t.Fatalf("n=%d servers, v=%d vnodes: max/mean = %.3f exceeds Karlin bound %.3f",
+					servers, vnodes, ratio, bound)
+			}
 		}
 	}
 }

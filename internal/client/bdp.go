@@ -1,0 +1,88 @@
+// Adaptive stripe-unit sizing: under Options.StripeUnit ==
+// AutoStripeUnit, each newly created file's unit is the power of two
+// nearest above the client's measured bandwidth-delay product, clamped
+// to [64 KiB, 4 MiB]. A unit well under the BDP wastes the pipeline
+// (each chunk's ack returns before the next fills the path); one far
+// over it defeats striping's parallelism for mid-sized files. The
+// estimator feeds on traffic the client is already doing — small
+// exchanges (stats, heartbeat-sized control calls) sample the round
+// trip, payload-bearing transfers sample bandwidth — so no probe
+// traffic is ever generated.
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// bdpEstimator tracks EWMA round-trip time and streaming bandwidth.
+// The zero value is ready to use.
+type bdpEstimator struct {
+	mu  sync.Mutex
+	rtt float64 // seconds, over sub-bdpSmallOp exchanges
+	bw  float64 // bytes/second, over payload-bearing exchanges
+}
+
+const (
+	// bdpSmallOp splits RTT samples from bandwidth samples: an exchange
+	// moving less than this is dominated by the round trip, not the pipe.
+	bdpSmallOp = 4 << 10
+	// bdpAlpha is the EWMA weight of the newest sample.
+	bdpAlpha = 0.25
+	// minAutoUnit / maxAutoUnit clamp the adaptive unit; the cap matches
+	// the transport payload pool's largest size class.
+	minAutoUnit = 64 << 10
+	maxAutoUnit = 4 << 20
+)
+
+// observe feeds one completed exchange: bytes is the larger of the
+// request and response payloads, d the call's round trip.
+func (e *bdpEstimator) observe(bytes int64, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := d.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if bytes < bdpSmallOp {
+		if e.rtt == 0 {
+			e.rtt = s
+		} else {
+			e.rtt += bdpAlpha * (s - e.rtt)
+		}
+		return
+	}
+	r := float64(bytes) / s
+	if e.bw == 0 {
+		e.bw = r
+	} else {
+		e.bw += bdpAlpha * (r - e.bw)
+	}
+}
+
+// unit returns the power-of-two stripe unit nearest above the measured
+// bandwidth-delay product, clamped to [minAutoUnit, maxAutoUnit] —
+// DefaultStripeUnit until both estimates have at least one sample.
+func (e *bdpEstimator) unit() int64 {
+	e.mu.Lock()
+	rtt, bw := e.rtt, e.bw
+	e.mu.Unlock()
+	if rtt <= 0 || bw <= 0 {
+		return DefaultStripeUnit
+	}
+	bdp := bw * rtt
+	u := int64(minAutoUnit)
+	for u < maxAutoUnit && float64(u) < bdp {
+		u <<= 1
+	}
+	return u
+}
+
+// stripeUnit is the unit recorded into newly created files: the
+// configured option, or the live BDP estimate under AutoStripeUnit.
+func (c *Client) stripeUnit() int64 {
+	if c.autoUnit {
+		return c.bdp.unit()
+	}
+	return c.opts.StripeUnit
+}

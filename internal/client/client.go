@@ -39,7 +39,9 @@ type Options struct {
 	// placement of the seed implementation).
 	Stripes int
 	// StripeUnit is the bytes written to one server before moving to
-	// the next (non-positive selects DefaultStripeUnit).
+	// the next (zero selects DefaultStripeUnit; AutoStripeUnit sizes
+	// the unit of each newly created file to the measured
+	// bandwidth-delay product instead).
 	StripeUnit int64
 	// LegacyGob forces the gob wire codec instead of the default
 	// length-prefixed binary codec — the escape hatch for servers too
@@ -51,11 +53,21 @@ type Options struct {
 // file system's unit.
 const DefaultStripeUnit = 1 << 20
 
+// AutoStripeUnit as Options.StripeUnit sizes each created file's
+// stripe unit from the client's measured bandwidth-delay product at
+// open time (see bdp.go). The chosen unit is recorded in the file's
+// metadata like any explicit one, so readers need no negotiation.
+const AutoStripeUnit int64 = -1
+
 // Client is one application process's connection to the burst buffer.
 type Client struct {
 	job  policy.JobInfo
 	ring *chash.Ring
 	opts Options
+	// autoUnit marks Options.StripeUnit == AutoStripeUnit: each created
+	// file's unit comes from bdp's live estimate instead of the option.
+	autoUnit bool
+	bdp      bdpEstimator
 
 	mu       sync.Mutex
 	conns    map[string]*serverConn
@@ -103,6 +115,11 @@ type fileHandle struct {
 type serverConn struct {
 	addr string
 	conn *transport.Conn
+	// caps accumulates the capability bits the peer has stamped on its
+	// responses (zero until the first response arrives — an old server
+	// never sends any). The client gates pipelined positional appends
+	// on having actually observed CapAppendAt here.
+	caps atomic.Uint64
 	mu   sync.Mutex
 	wait map[uint64]chan *transport.Response
 	err  error
@@ -139,17 +156,28 @@ func (sc *serverConn) reader() {
 			sc.mu.Unlock()
 			return
 		}
+		if resp.Caps != 0 {
+			sc.caps.Store(resp.Caps)
+		}
 		sc.mu.Lock()
 		ch, ok := sc.wait[resp.Seq]
 		delete(sc.wait, resp.Seq)
 		sc.mu.Unlock()
 		if ok {
 			ch <- resp
+		} else {
+			// No waiter (a call torn down mid-send): the leased frame
+			// goes straight back to the pool.
+			resp.Release()
 		}
 	}
 }
 
-func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) {
+// start registers req's response channel and puts the request on the
+// wire without waiting — the building block of pipelined stripe I/O.
+// The caller must receive exactly once from the returned channel; a
+// closed channel means the connection died.
+func (sc *serverConn) start(req *transport.Request) (chan *transport.Response, error) {
 	ch := make(chan *transport.Response, 1)
 	sc.mu.Lock()
 	if sc.err != nil {
@@ -163,6 +191,14 @@ func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) 
 		sc.mu.Lock()
 		delete(sc.wait, req.Seq)
 		sc.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) {
+	ch, err := sc.start(req)
+	if err != nil {
 		return nil, err
 	}
 	resp, ok := <-ch
@@ -188,10 +224,14 @@ func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, erro
 	if opts.Stripes <= 0 {
 		opts.Stripes = 1
 	}
+	autoUnit := opts.StripeUnit == AutoStripeUnit
 	if opts.StripeUnit <= 0 {
+		// Auto keeps the default as its no-samples fallback and as the
+		// unit assumed for legacy files whose metadata records none.
 		opts.StripeUnit = DefaultStripeUnit
 	}
 	c := &Client{
+		autoUnit:    autoUnit,
 		job:         job,
 		ring:        chash.New(0),
 		opts:        opts,
@@ -442,11 +482,19 @@ func (c *Client) callAddr(addr, path string, req *transport.Request) (*transport
 	req.Seq = c.seq.Add(1)
 	req.Job = c.job
 	req.Path = path
+	start := time.Now()
 	resp, err := sc.call(req)
 	if err != nil {
 		c.markFailed(addr)
 		return nil, err
 	}
+	// Feed the bandwidth-delay estimator: a small exchange samples the
+	// round trip, a payload-bearing one samples bandwidth.
+	bytes := int64(len(req.Data))
+	if resp.N > bytes {
+		bytes = resp.N
+	}
+	c.bdp.observe(bytes, time.Since(start))
 	return resp, nil
 }
 
@@ -519,11 +567,12 @@ func (c *Client) Open(path string, create bool) (int, error) {
 		if len(set) == 0 {
 			return -1, fmt.Errorf("client: no servers left")
 		}
+		unit := c.stripeUnit()
 		if _, err := c.fanOut(set, path, func(int) *transport.Request {
 			return &transport.Request{
 				Type:       transport.MsgCreate,
 				Stripes:    len(set),
-				StripeUnit: c.opts.StripeUnit,
+				StripeUnit: unit,
 				StripeSet:  set,
 			}
 		}); err != nil {
@@ -646,6 +695,12 @@ const writeRetryTimeout = 10 * time.Second
 
 // writeOnce performs one striped append attempt at the handle's
 // current layout, advancing the handle bookkeeping on success.
+//
+// The data plane here is zero-copy: p is sliced into per-server span
+// LISTS (segments referencing p directly — never concatenated), each
+// segment rides the wire as its own iovec, and each stripe's span goes
+// out either pipelined (a window of positional-append chunk RPCs, for
+// servers advertising CapAppendAt) or as one ordered append RPC.
 func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 	set := h.set
 	if len(set) == 0 {
@@ -658,8 +713,9 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 	if unit <= 0 {
 		unit = c.opts.StripeUnit
 	}
-	// Slice p into per-server spans, preserving order within a server.
-	bufs := make([][]byte, len(set))
+	// Slice p into per-server span lists, preserving order within a
+	// server. Each entry aliases p — no copy is made on the client side.
+	spans := make([][][]byte, len(set))
 	off := h.size
 	for done := 0; done < len(p); {
 		idx := int(off/unit) % len(set)
@@ -667,16 +723,42 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 		if n > len(p)-done {
 			n = len(p) - done
 		}
-		bufs[idx] = append(bufs[idx], p[done:done+n]...)
+		spans[idx] = append(spans[idx], p[done:done+n])
 		done += n
 		off += int64(n)
 	}
-	if _, err := c.fanOut(set, h.path, func(i int) *transport.Request {
-		if len(bufs[i]) == 0 {
-			return nil
+	errs := make([]error, len(set))
+	var wg sync.WaitGroup
+	for i, addr := range set {
+		if len(spans[i]) == 0 {
+			continue
 		}
-		return &transport.Request{Type: transport.MsgWrite, Data: bufs[i], LayoutGen: h.layoutGen}
-	}); err != nil {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			errs[i] = c.writeStripe(addr, h.path, spans[i],
+				localLen(h.size, i, len(set), unit), h.layoutGen)
+		}(i, addr)
+	}
+	wg.Wait()
+	// Transport-level (non-retryable) failures dominate the outcome so
+	// partial landings go through repair, mirroring fanOut's precedence.
+	var err error
+	for _, e := range errs {
+		if e != nil && !retryableLayout(e) {
+			err = e
+			break
+		}
+	}
+	if err == nil {
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	if err != nil {
 		if retryableLayout(err) {
 			// No repair across layouts (or against a holder whose commit
 			// has not landed): the caller re-stats and retries.
@@ -686,7 +768,7 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 		// would re-append the landed chunks and silently corrupt the
 		// round-robin layout. Repair instead: top each stripe up to its
 		// exact target length, and poison the handle if that fails.
-		if rerr := c.repairWrite(h, set, bufs, unit); rerr != nil {
+		if rerr := c.repairWrite(h, set, spans, unit); rerr != nil {
 			if retryableLayout(rerr) {
 				return rerr
 			}
@@ -697,6 +779,144 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 	h.size += int64(len(p))
 	h.off = h.size
 	return nil
+}
+
+// writeChunkTarget is the payload size one pipelined append RPC aims
+// for (whole segments are never split); writeWindow bounds how many
+// such RPCs one stripe keeps in flight on its connection.
+const (
+	writeChunkTarget = 512 << 10
+	writeWindow      = 8
+)
+
+// writeStripe sends one server's span of a striped write. Servers that
+// have advertised CapAppendAt get the pipelined positional-append path:
+// the span goes out as a window of chunk RPCs that need no round trip
+// between them, and the explicit offsets keep landing order-independent
+// under the server's multiplexed worker pool. Anyone else (old servers,
+// or a connection whose first response has not yet been seen) gets the
+// whole span as one ordered append RPC. Transport-level errors fail the
+// server over, as callAddr would.
+func (c *Client) writeStripe(addr, path string, segs [][]byte, startOff int64, layoutGen uint64) error {
+	sc, err := c.ensureConn(addr)
+	if err != nil {
+		return err
+	}
+	var appErr, netErr error
+	start := time.Now()
+	total := spanLen(segs)
+	if sc.caps.Load()&transport.CapAppendAt != 0 {
+		appErr, netErr = c.writeStripePipelined(sc, path, segs, startOff, layoutGen)
+	} else {
+		resp, cerr := sc.call(&transport.Request{
+			Type: transport.MsgWrite, Seq: c.seq.Add(1), Job: c.job, Path: path,
+			DataSegs: segs, LayoutGen: layoutGen,
+		})
+		if cerr != nil {
+			netErr = cerr
+		} else {
+			if resp.Err != "" {
+				appErr = resp.Error()
+			}
+			resp.Release()
+		}
+	}
+	if netErr != nil {
+		c.markFailed(addr)
+		return netErr
+	}
+	if appErr == nil {
+		c.bdp.observe(total, time.Since(start))
+	}
+	return appErr
+}
+
+// writeStripePipelined issues a stripe's span as windowed positional
+// appends. Application errors (appErr) and transport failures (netErr)
+// are reported separately so the caller can fail the server over on the
+// latter only.
+func (c *Client) writeStripePipelined(sc *serverConn, path string, segs [][]byte, startOff int64, layoutGen uint64) (appErr, netErr error) {
+	// Group whole segments into chunk RPCs of ~writeChunkTarget bytes.
+	// Groups are subslices of segs: still zero-copy.
+	var inflight []chan *transport.Response
+	collect := func() {
+		resp, ok := <-inflight[0]
+		inflight = inflight[1:]
+		if !ok {
+			if netErr == nil {
+				netErr = fmt.Errorf("client: connection lost")
+			}
+			return
+		}
+		if resp.Err != "" && appErr == nil {
+			appErr = resp.Error()
+		}
+		resp.Release()
+	}
+	off := startOff
+	for lo := 0; lo < len(segs) && appErr == nil && netErr == nil; {
+		hi := lo + 1
+		glen := int64(len(segs[lo]))
+		for hi < len(segs) && glen+int64(len(segs[hi])) <= writeChunkTarget {
+			glen += int64(len(segs[hi]))
+			hi++
+		}
+		for len(inflight) >= writeWindow && appErr == nil && netErr == nil {
+			collect()
+		}
+		if appErr != nil || netErr != nil {
+			break
+		}
+		ch, err := sc.start(&transport.Request{
+			Type: transport.MsgWrite, Seq: c.seq.Add(1), Job: c.job, Path: path,
+			DataSegs: segs[lo:hi], AppendAt: true, AppendOff: off,
+			LayoutGen: layoutGen,
+		})
+		if err != nil {
+			netErr = err
+			break
+		}
+		inflight = append(inflight, ch)
+		off += glen
+		lo = hi
+	}
+	for len(inflight) > 0 {
+		collect()
+	}
+	return appErr, netErr
+}
+
+// spanLen is the byte length of a segment list.
+func spanLen(segs [][]byte) int64 {
+	var n int64
+	for _, s := range segs {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// spanTail returns the last need bytes of a segment list, as a segment
+// list still referencing the original backing bytes.
+func spanTail(segs [][]byte, need int64) [][]byte {
+	if need <= 0 {
+		return nil
+	}
+	var out [][]byte
+	for i := len(segs) - 1; i >= 0 && need > 0; i-- {
+		s := segs[i]
+		if int64(len(s)) >= need {
+			s = s[int64(len(s))-need:]
+			need = 0
+		} else {
+			need -= int64(len(s))
+		}
+		out = append(out, s)
+	}
+	// Reverse into span order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // refreshHandle re-learns a file's layout and size after a
@@ -740,14 +960,11 @@ func localLen(total int64, i, nStripes int, unit int64) int64 {
 // means every chunk of this write is correctly placed and the surplus
 // is not this write's corruption to report; a mismatch is refused as
 // before.
-func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit int64) error {
-	target := h.size + func() int64 {
-		var n int64
-		for _, b := range bufs {
-			n += int64(len(b))
-		}
-		return n
-	}()
+func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit int64) error {
+	target := h.size
+	for _, segs := range spans {
+		target += spanLen(segs)
+	}
 	for i, addr := range set {
 		resp, err := c.callAddr(addr, h.path, &transport.Request{Type: transport.MsgStat})
 		if err != nil {
@@ -757,11 +974,12 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 			return fmt.Errorf("stripe %s: %s", addr, resp.Err)
 		}
 		need := localLen(target, i, len(set), unit) - resp.Size
-		if need > int64(len(bufs[i])) {
+		resp.Release()
+		if need > spanLen(spans[i]) {
 			return fmt.Errorf("stripe %s has unexpected length %d", addr, resp.Size)
 		}
 		if need < 0 {
-			if err := c.verifySpan(h, addr, i, len(set), unit, bufs[i]); err != nil {
+			if err := c.verifySpan(h, addr, i, len(set), unit, spans[i]); err != nil {
 				return fmt.Errorf("stripe %s over-landed to %d: %w", addr, resp.Size, err)
 			}
 			continue
@@ -770,7 +988,7 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 			continue
 		}
 		wresp, err := c.callAddr(addr, h.path, &transport.Request{
-			Type: transport.MsgWrite, Data: bufs[i][int64(len(bufs[i]))-need:],
+			Type: transport.MsgWrite, DataSegs: spanTail(spans[i], need),
 			LayoutGen: h.layoutGen,
 		})
 		if err != nil {
@@ -779,6 +997,7 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 		if wresp.Err != "" {
 			return fmt.Errorf("stripe %s: %s", addr, wresp.Err)
 		}
+		wresp.Release()
 	}
 	return nil
 }
@@ -786,13 +1005,14 @@ func (c *Client) repairWrite(h *fileHandle, set []string, bufs [][]byte, unit in
 // verifySpan reads back the local span this write addressed on one
 // stripe server and compares it to the bytes sent — the over-landed
 // repair check.
-func (c *Client) verifySpan(h *fileHandle, addr string, i, nStripes int, unit int64, want []byte) error {
-	if len(want) == 0 {
+func (c *Client) verifySpan(h *fileHandle, addr string, i, nStripes int, unit int64, want [][]byte) error {
+	total := spanLen(want)
+	if total == 0 {
 		return nil
 	}
 	start := localLen(h.size, i, nStripes, unit)
 	resp, err := c.callAddr(addr, h.path, &transport.Request{
-		Type: transport.MsgRead, Offset: start, Size: int64(len(want)),
+		Type: transport.MsgRead, Offset: start, Size: total,
 	})
 	if err != nil {
 		return err
@@ -800,8 +1020,13 @@ func (c *Client) verifySpan(h *fileHandle, addr string, i, nStripes int, unit in
 	if resp.Err != "" {
 		return resp.Error()
 	}
-	if !bytes.Equal(resp.Data[:resp.N], want) {
-		return fmt.Errorf("span content mismatch at local offset %d", start)
+	defer resp.Release()
+	got := resp.Data[:resp.N]
+	for _, seg := range want {
+		if int64(len(got)) < int64(len(seg)) || !bytes.Equal(got[:len(seg)], seg) {
+			return fmt.Errorf("span content mismatch at local offset %d", start)
+		}
+		got = got[len(seg):]
 	}
 	return nil
 }
@@ -855,7 +1080,9 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 		}
 		copy(p, resp.Data)
 		h.off += resp.N
-		return int(resp.N), nil
+		n := int(resp.N)
+		resp.Release()
+		return n, nil
 	}
 	// The handle's tracked size clamps the read (no per-read stat storm
 	// on the path that exists to scale bandwidth); writes through other
@@ -898,39 +1125,149 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 		}
 		hi[idx] = lhi
 	}
-	resps, err := c.fanOut(set, h.path, func(i int) *transport.Request {
+	errs := make([]error, len(set))
+	var wg sync.WaitGroup
+	for i, addr := range set {
 		if lo[i] < 0 {
-			return nil
+			continue
 		}
-		return &transport.Request{
-			Type: transport.MsgRead, Offset: lo[i], Size: hi[i] - lo[i],
-			LayoutGen: h.layoutGen,
-		}
-	})
-	if err != nil {
-		return 0, err
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			errs[i] = c.readStripe(addr, h.path, i, len(set), unit,
+				lo[i], hi[i], h.layoutGen, p, g0, g1)
+		}(i, addr)
 	}
-	for i, r := range resps {
-		if r != nil && r.N < hi[i]-lo[i] {
-			return 0, fmt.Errorf("client: short stripe read from %s: %d < %d",
-				set[i], r.N, hi[i]-lo[i])
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil && !retryableLayout(e) {
+			return 0, e
 		}
 	}
-	for u := g0 / unit; u <= (g1-1)/unit; u++ {
-		idx := int(u) % len(set)
-		segStart, segEnd := u*unit, (u+1)*unit
-		if segStart < g0 {
-			segStart = g0
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
 		}
-		if segEnd > g1 {
-			segEnd = g1
-		}
-		base := (u / int64(len(set))) * unit
-		llo := base + segStart - u*unit
-		copy(p[segStart-g0:segEnd-g0], resps[idx].Data[llo-lo[idx]:])
 	}
 	h.off += want
 	return int(want), nil
+}
+
+// readChunk is the payload size one pipelined stripe-read RPC asks
+// for; readWindow bounds how many such RPCs one stripe keeps in flight.
+const (
+	readChunk  = 512 << 10
+	readWindow = 8
+)
+
+// readStripe fetches one server's locally-contiguous byte range
+// [lo,hi) of a striped read as a window of chunk RPCs — readahead that
+// needs no round trip between chunks (reads at explicit offsets are
+// idempotent, so unlike writes this pipelining needs no server
+// capability) — and scatters each arriving chunk's units straight into
+// p. Transport-level errors fail the server over.
+func (c *Client) readStripe(addr, path string, idx, nStripes int, unit int64, lo, hi int64, layoutGen uint64, p []byte, g0, g1 int64) error {
+	sc, err := c.ensureConn(addr)
+	if err != nil {
+		return err
+	}
+	type chunk struct {
+		off int64
+		n   int64
+		ch  chan *transport.Response
+	}
+	var inflight []chunk
+	var appErr, netErr error
+	start := time.Now()
+	collect := func() {
+		ck := inflight[0]
+		inflight = inflight[1:]
+		resp, ok := <-ck.ch
+		if !ok {
+			if netErr == nil {
+				netErr = fmt.Errorf("client: connection lost")
+			}
+			return
+		}
+		defer resp.Release()
+		if resp.Err != "" {
+			if appErr == nil {
+				appErr = resp.Error()
+			}
+			return
+		}
+		if resp.N < ck.n && appErr == nil {
+			appErr = fmt.Errorf("client: short stripe read from %s: %d < %d", addr, resp.N, ck.n)
+			return
+		}
+		scatterLocal(p, g0, g1, idx, nStripes, unit, ck.off, resp.Data[:ck.n])
+	}
+	for off := lo; off < hi && appErr == nil && netErr == nil; {
+		n := hi - off
+		if n > readChunk {
+			n = readChunk
+		}
+		for len(inflight) >= readWindow && appErr == nil && netErr == nil {
+			collect()
+		}
+		if appErr != nil || netErr != nil {
+			break
+		}
+		ch, err := sc.start(&transport.Request{
+			Type: transport.MsgRead, Seq: c.seq.Add(1), Job: c.job, Path: path,
+			Offset: off, Size: n, LayoutGen: layoutGen,
+		})
+		if err != nil {
+			netErr = err
+			break
+		}
+		inflight = append(inflight, chunk{off: off, n: n, ch: ch})
+		off += n
+	}
+	for len(inflight) > 0 {
+		collect()
+	}
+	if netErr != nil {
+		c.markFailed(addr)
+		return netErr
+	}
+	if appErr == nil {
+		c.bdp.observe(hi-lo, time.Since(start))
+	}
+	return appErr
+}
+
+// scatterLocal copies one stripe-local contiguous chunk (starting at
+// local offset a on stripe idx) into its global positions in p, whose
+// first byte is global offset g0. The round-robin inverse: local unit
+// l/unit is global unit (l/unit)*nStripes+idx.
+func scatterLocal(p []byte, g0, g1 int64, idx, nStripes int, unit, a int64, data []byte) {
+	for l := a; l < a+int64(len(data)); {
+		lu := l / unit
+		unitEnd := (lu + 1) * unit
+		end := a + int64(len(data))
+		if end > unitEnd {
+			end = unitEnd
+		}
+		g := (lu*int64(nStripes)+int64(idx))*unit + l%unit
+		// Clamp to the requested global window (the first and last
+		// touched units may be partial; a unit wholly outside the
+		// window is dropped, not sliced out of range).
+		src := data[l-a : end-a]
+		if g >= g1 || g+int64(len(src)) <= g0 {
+			l = end
+			continue
+		}
+		if g < g0 {
+			src = src[g0-g:]
+			g = g0
+		}
+		if g+int64(len(src)) > g1 {
+			src = src[:g1-g]
+		}
+		copy(p[g-g0:], src)
+		l = end
+	}
 }
 
 // Lseek repositions the handle. Whence follows POSIX: 0=set, 1=cur,

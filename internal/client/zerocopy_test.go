@@ -1,0 +1,223 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"themisio/internal/transport"
+)
+
+// TestZeroCopyHammer drives the pooled-payload path end to end with
+// lease poisoning armed: several writers each stream a deterministic
+// pattern through multiple Writes (the first rides the pre-capability
+// fallback, the rest the pipelined positional path), then read it all
+// back through the leased read replies. Any alias held past Release —
+// on either side of the wire — corrupts a pattern byte and fails the
+// compare; under -race the reuse also trips the detector.
+func TestZeroCopyHammer(t *testing.T) {
+	transport.SetLeasePoison(true)
+	defer transport.SetLeasePoison(false)
+	addrs := startServers(t, 4)
+
+	const (
+		writers   = 4
+		perWrite  = 200 << 10 // crosses the 64 KiB units and the 8 KiB sg threshold
+		numWrites = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs <- func() error {
+				c, err := DialOpts(testJob(fmt.Sprintf("zc%d", w)), addrs, Options{
+					Stripes:    4,
+					StripeUnit: 64 << 10,
+				})
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				path := fmt.Sprintf("/zc/f%d", w)
+				if err := c.Mkdir("/zc"); err != nil && w != 0 {
+					// Racing mkdirs: only one creator wins; that's fine.
+					_ = err
+				}
+				fd, err := c.Open(path, true)
+				if err != nil {
+					return err
+				}
+				want := make([]byte, 0, perWrite*numWrites)
+				for i := 0; i < numWrites; i++ {
+					chunk := make([]byte, perWrite)
+					for j := range chunk {
+						chunk[j] = byte((len(want)+j)*31 + w)
+					}
+					if n, err := c.Write(fd, chunk); err != nil || n != perWrite {
+						return fmt.Errorf("write %d: n=%d err=%v", i, n, err)
+					}
+					want = append(want, chunk...)
+				}
+				if _, err := c.Lseek(fd, 0, 0); err != nil {
+					return err
+				}
+				// Read back in chunks misaligned with both the stripe
+				// unit and the write sizes.
+				got := make([]byte, 0, len(want))
+				buf := make([]byte, 150<<10)
+				for len(got) < len(want) {
+					n, err := c.Read(fd, buf)
+					if err != nil {
+						return fmt.Errorf("read at %d: %v", len(got), err)
+					}
+					if n == 0 {
+						return fmt.Errorf("early EOF at %d of %d", len(got), len(want))
+					}
+					got = append(got, buf[:n]...)
+				}
+				if !bytes.Equal(got, want) {
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("writer %d: corruption at byte %d: got %#x want %#x", w, i, got[i], want[i])
+						}
+					}
+				}
+				return nil
+			}()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The BDP estimator: default before samples, EWMA convergence, and the
+// power-of-two clamp of the derived unit.
+func TestBDPEstimator(t *testing.T) {
+	var e bdpEstimator
+	if e.unit() != DefaultStripeUnit {
+		t.Fatalf("unsampled estimator must fall back to the default, got %d", e.unit())
+	}
+	e.observe(100, time.Millisecond) // small op → RTT sample only
+	if e.unit() != DefaultStripeUnit {
+		t.Fatal("RTT alone must not produce a unit")
+	}
+	// 1 GB/s over a 1 ms RTT → BDP 1 MB → unit 1 MiB (pow2 above 10^6).
+	for i := 0; i < 50; i++ {
+		e.observe(1<<20, time.Duration(float64(time.Second)*float64(1<<20)/1e9))
+		e.observe(100, time.Millisecond)
+	}
+	if u := e.unit(); u != 1<<20 {
+		t.Fatalf("1 GB/s × 1 ms should size a 1 MiB unit, got %d", u)
+	}
+	// A fat long pipe clamps at the top class…
+	var hi bdpEstimator
+	hi.observe(100, 100*time.Millisecond)
+	hi.observe(64<<20, 100*time.Millisecond)
+	if u := hi.unit(); u != maxAutoUnit {
+		t.Fatalf("huge BDP must clamp to %d, got %d", maxAutoUnit, u)
+	}
+	// …and a thin short one at the bottom.
+	var lo bdpEstimator
+	lo.observe(100, 10*time.Microsecond)
+	lo.observe(8<<10, 8*time.Millisecond)
+	if u := lo.unit(); u != minAutoUnit {
+		t.Fatalf("tiny BDP must clamp to %d, got %d", minAutoUnit, u)
+	}
+	// Units are powers of two in range.
+	for _, u := range []int64{e.unit(), hi.unit(), lo.unit()} {
+		if u&(u-1) != 0 || u < minAutoUnit || u > maxAutoUnit {
+			t.Fatalf("unit %d is not a clamped power of two", u)
+		}
+	}
+}
+
+// scatterLocal is the inverse of the round-robin split: reconstructing
+// a random global window from random per-stripe chunks must reproduce
+// the original bytes exactly.
+func TestScatterLocalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nStripes := 1 + rng.Intn(5)
+		unit := int64(1 + rng.Intn(200))
+		total := int64(rng.Intn(5000))
+		global := make([]byte, total)
+		for i := range global {
+			global[i] = byte(rng.Int())
+		}
+		// Build each stripe's local image by the forward round-robin.
+		locals := make([][]byte, nStripes)
+		for off := int64(0); off < total; off++ {
+			gu := off / unit
+			idx := int(gu % int64(nStripes))
+			locals[idx] = append(locals[idx], global[off])
+		}
+		// Pick a random global window and rebuild it via scatterLocal
+		// from randomly sized local chunks.
+		g0 := int64(rng.Intn(int(total + 1)))
+		g1 := g0 + int64(rng.Intn(int(total-g0+1)))
+		got := make([]byte, g1-g0)
+		for idx := 0; idx < nStripes; idx++ {
+			for a := int64(0); a < int64(len(locals[idx])); {
+				n := int64(1 + rng.Intn(300))
+				if a+n > int64(len(locals[idx])) {
+					n = int64(len(locals[idx])) - a
+				}
+				scatterLocal(got, g0, g1, idx, nStripes, unit, a, locals[idx][a:a+n])
+				a += n
+			}
+		}
+		if !bytes.Equal(got, global[g0:g1]) {
+			t.Fatalf("trial %d (stripes=%d unit=%d total=%d window=[%d,%d)): scatter mismatch",
+				trial, nStripes, unit, total, g0, g1)
+		}
+	}
+}
+
+// spanTail slices the last need bytes out of a segment list without
+// copying — the repair path's top-up source.
+func TestSpanTail(t *testing.T) {
+	base := []byte("abcdefghij")
+	segs := [][]byte{base[0:3], base[3:4], base[4:10]} // abc | d | efghij
+	for need := int64(0); need <= 10; need++ {
+		tail := spanTail(segs, need)
+		var flat []byte
+		for _, s := range tail {
+			flat = append(flat, s...)
+		}
+		if want := base[10-need:]; !bytes.Equal(flat, want) {
+			t.Fatalf("need=%d: got %q want %q", need, flat, want)
+		}
+		// Zero-copy: every returned segment aliases the original base.
+		for _, s := range tail {
+			if len(s) > 0 && &s[0] != &base[10-len(flat):][0] && !aliases(base, s) {
+				t.Fatalf("need=%d: segment does not alias the source", need)
+			}
+		}
+	}
+	if spanTail(segs, 99) == nil {
+		t.Fatal("over-asking returns the whole span, not nil")
+	}
+}
+
+// aliases reports whether sub's backing array lies within base's.
+func aliases(base, sub []byte) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := range base {
+		if &base[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
+}

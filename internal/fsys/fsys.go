@@ -38,6 +38,19 @@ var (
 	// condition is routing staleness, not data loss — the caller re-stats
 	// the path to learn the current layout and retries.
 	ErrStaleLayout = errors.New("fsys: stale file layout (migrated)")
+	// ErrTornAppend reports a positional append that partially overlaps
+	// the landed stripe: its offset is inside the local size but its end
+	// extends past it. A whole-chunk duplicate (a retransmit of bytes
+	// that already landed) is tolerated as success; a partial overlap
+	// means chunk boundaries drifted between attempts, and accepting it
+	// would double-write the overlapped range.
+	ErrTornAppend = errors.New("fsys: positional append partially overlaps landed data")
+	// ErrParkedFull reports a positional append parked-bytes budget
+	// overflow: too many out-of-order chunks are waiting for a missing
+	// predecessor. The pipelined client's in-flight window keeps real
+	// traffic far under the bound, so hitting it means frames were lost
+	// or a peer is misbehaving; the write fails and the client repairs.
+	ErrParkedFull = errors.New("fsys: positional append reorder buffer full")
 )
 
 // FileInfo is the stat result.
@@ -90,6 +103,23 @@ type node struct {
 	// (see stageout.go).
 	dirty     *storage.RangeSet
 	metaDirty bool
+	// appendMu serializes every append (positional or plain) to this
+	// entry. Plain appends used to ride on the store's allocator mutex
+	// alone, but the positional path's park/drain step must be atomic
+	// with the landing append: a plain (repair) append interleaving a
+	// drain could land between a chunk and its parked successor and
+	// shear the stripe. Acquired under the shard read-lock; reads stay
+	// lock-free against appends as before.
+	appendMu sync.Mutex
+	// parked holds out-of-order positional-append chunks keyed by their
+	// target offset, waiting for the gap before them to land (copies —
+	// the transport frame backing the request is released when its
+	// response is sent). parkedBytes bounds the buffer (maxParkedBytes);
+	// parkedAt is when the oldest current resident arrived, for the
+	// zombie sweep. Guarded by appendMu.
+	parked      map[int64][]byte
+	parkedBytes int64
+	parkedAt    time.Time
 }
 
 // Shard is the per-server piece of the file system: the namespace
@@ -322,18 +352,164 @@ func (s *Shard) AppendGen(p string, data []byte, layoutGen uint64) (int64, error
 	if len(data) == 0 {
 		return n.index.Size(), nil
 	}
-	ext, err := s.store.Alloc(int64(len(data)))
-	if err != nil {
+	n.appendMu.Lock()
+	defer n.appendMu.Unlock()
+	if err := s.appendLocked(n, data); err != nil {
 		return 0, err
 	}
-	if _, err := s.store.WriteAt(ext, 0, data); err != nil {
+	// A repair append can close the gap a parked positional chunk was
+	// waiting on.
+	if err := s.drainParked(n); err != nil {
 		return 0, err
+	}
+	return n.index.Size(), nil
+}
+
+// maxParkedBytes bounds the per-entry positional-append reorder buffer.
+// The pipelined client's in-flight window is a few MiB; anything near
+// this bound is lost frames or a misbehaving peer, not normal reordering.
+const maxParkedBytes = 32 << 20
+
+// AppendAtGen is AppendGen with an explicit target offset into the local
+// stripe: the server side of pipelined striped writes. A multiplexed
+// connection's worker pool may execute a stripe's chunks out of order;
+// the offset makes landing order-independent:
+//
+//   - off == local size: the chunk lands now, then any parked successors
+//     whose gap it closed drain in offset order.
+//   - off+len ≤ local size: a retransmit of bytes that already landed —
+//     success (idempotent), nothing written.
+//   - off inside the size but end past it: ErrTornAppend (chunk
+//     boundaries drifted between attempts; accepting would double-write).
+//   - off > local size: the chunk is parked (copied — the caller keeps
+//     ownership of data) until its predecessor lands, and the call
+//     SUCCEEDS immediately. The early ack is sound by induction: every
+//     parked chunk either drains before its predecessor's own ack is
+//     sent, or its predecessor failed — in which case the client sees
+//     that failure and repairs. Parked chunks stranded by a dead client
+//     are dropped by SweepParked.
+//
+// Returns the local size the stripe has (or will have, for a parked
+// chunk) once every acked byte lands.
+func (s *Shard) AppendAtGen(p string, off int64, data []byte, layoutGen uint64) (int64, error) {
+	p = clean(p)
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[p]
+	if !ok {
+		if _, mv := s.moved[p]; mv {
+			return 0, ErrStaleLayout
+		}
+		return 0, ErrNotExist
+	}
+	if n.isDir {
+		return 0, ErrIsDir
+	}
+	if n.sealed {
+		return 0, ErrStaleLayout
+	}
+	if layoutGen != 0 && n.layoutGen != 0 && n.layoutGen != layoutGen {
+		return 0, ErrStaleLayout
+	}
+	n.appendMu.Lock()
+	defer n.appendMu.Unlock()
+	size := n.index.Size()
+	end := off + int64(len(data))
+	switch {
+	case len(data) == 0:
+		return size, nil
+	case end <= size:
+		// Whole-chunk duplicate: already landed, ack again.
+		return size, nil
+	case off < size:
+		return 0, fmt.Errorf("%w: off %d len %d local size %d", ErrTornAppend, off, len(data), size)
+	case off > size:
+		if n.parkedBytes+int64(len(data)) > maxParkedBytes {
+			return 0, ErrParkedFull
+		}
+		if n.parked == nil {
+			n.parked = map[int64][]byte{}
+		}
+		if _, dup := n.parked[off]; !dup {
+			// Copy: the request frame backing data is released as soon
+			// as the worker sends this (successful) response.
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			n.parked[off] = cp
+			n.parkedBytes += int64(len(data))
+			if len(n.parked) == 1 {
+				n.parkedAt = time.Now()
+			}
+		}
+		return end, nil
+	}
+	if err := s.appendLocked(n, data); err != nil {
+		return 0, err
+	}
+	if err := s.drainParked(n); err != nil {
+		return 0, err
+	}
+	return n.index.Size(), nil
+}
+
+// appendLocked writes data as a fresh extent at the end of n's local
+// stripe. Caller holds s.mu (read) and n.appendMu.
+func (s *Shard) appendLocked(n *node, data []byte) error {
+	ext, err := s.store.Alloc(int64(len(data)))
+	if err != nil {
+		return err
+	}
+	if _, err := s.store.WriteAt(ext, 0, data); err != nil {
+		return err
 	}
 	off := n.index.Append(ext)
 	if n.dirty != nil {
 		n.dirty.Mark(off, ext.Len)
 	}
-	return n.index.Size(), nil
+	return nil
+}
+
+// drainParked lands every parked chunk whose offset has become the
+// local size, in offset order. Caller holds s.mu (read) and n.appendMu.
+func (s *Shard) drainParked(n *node) error {
+	for len(n.parked) > 0 {
+		size := n.index.Size()
+		d, ok := n.parked[size]
+		if !ok {
+			return nil
+		}
+		delete(n.parked, size)
+		n.parkedBytes -= int64(len(d))
+		if err := s.appendLocked(n, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepParked drops parked positional-append chunks older than maxAge —
+// residue of a client that died mid-pipeline (its predecessor chunk
+// never arrived, so the gap never closes). Dropping is safe: the bytes
+// were acked, but the ack chain is broken at the missing predecessor,
+// so the client (or its successor re-running the job) observed a failed
+// write and repairs from the landed size. Returns chunks dropped.
+func (s *Shard) SweepParked(maxAge time.Duration) int {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, n := range s.nodes {
+		if len(n.parked) == 0 || now.Sub(n.parkedAt) < maxAge {
+			continue
+		}
+		dropped += len(n.parked)
+		n.parked = nil
+		n.parkedBytes = 0
+	}
+	return dropped
 }
 
 // ReadAt reads up to len(buf) bytes of the local stripe at offset off;

@@ -62,6 +62,13 @@ func (s *Shard) Seal(p string, expectLayoutGen uint64) (size int64, gen uint64, 
 		n.sealedAt = time.Now()
 	}
 	n.sealed = true
+	// Parked positional-append chunks can never drain behind a seal (the
+	// freeze fails the predecessor that would close their gap), and the
+	// migration copies only the frozen landed size — drop them; the
+	// client's stale-layout repair re-sends the tail under the new
+	// layout.
+	n.parked = nil
+	n.parkedBytes = 0
 	return n.index.Size(), n.gen, nil
 }
 

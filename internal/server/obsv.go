@@ -101,6 +101,21 @@ func newServerMetrics(reg *obsv.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("themis_transport_pool_misses_total",
 		"Codec scratch-buffer pool gets that had to allocate (process-wide).",
 		func() float64 { _, mi := transport.PoolStats(); return float64(mi) })
+	reg.CounterFunc("themis_transport_writev_frames_total",
+		"Data frames sent vectored — header and payload as separate iovecs in one writev (process-wide).",
+		func() float64 { v, _, _ := transport.IOStats(); return float64(v) })
+	reg.CounterFunc("themis_transport_writev_payload_bytes_total",
+		"Payload bytes that rode out as their own iovec, never concatenated into scratch (process-wide).",
+		func() float64 { _, b, _ := transport.IOStats(); return float64(b) })
+	reg.CounterFunc("themis_transport_flat_frames_total",
+		"Frames sent as a single contiguous write (control traffic and sub-threshold payloads, process-wide).",
+		func() float64 { _, _, f := transport.IOStats(); return float64(f) })
+	reg.CounterFunc("themis_transport_lease_gets_total",
+		"Payload-pool leases handed out (frame receives and read replies, process-wide).",
+		func() float64 { g, _ := transport.LeaseStats(); return float64(g) })
+	reg.CounterFunc("themis_transport_lease_misses_total",
+		"Payload-pool leases that had to allocate a fresh buffer (process-wide).",
+		func() float64 { _, mi := transport.LeaseStats(); return float64(mi) })
 
 	// --- backing / stage-out ----------------------------------------------
 	reg.GaugeFunc("themis_backing_dirty_bytes",

@@ -388,19 +388,23 @@ func (s *Server) handleConn(c *transport.Conn) {
 		}
 		switch req.Type {
 		case transport.MsgBye:
+			req.Release()
 			return
 		case transport.MsgHeartbeat:
 			s.table.Heartbeat(req.Job, s.now())
+			req.Release()
 			continue
 		case transport.MsgSync:
 			// Legacy peer table merge (the receive side of the static
 			// all-gather); kept so mixed-version peers still sync.
 			s.table.Merge(req.Table, s.now())
+			req.Release()
 			continue
 		case transport.MsgGossip, transport.MsgJoin, transport.MsgLeave,
 			transport.MsgClusterStatus, transport.MsgDrain:
 			resp := s.node.Handle(req, s.now())
-			if err := c.SendResponse(resp); err != nil {
+			req.Release()
+			if err := s.sendResponse(c, resp); err != nil {
 				return
 			}
 			continue
@@ -413,7 +417,8 @@ func (s *Server) handleConn(c *transport.Conn) {
 			if err := s.Flush(); err != nil {
 				resp.Err = err.Error()
 			}
-			if err := c.SendResponse(resp); err != nil {
+			req.Release()
+			if err := s.sendResponse(c, resp); err != nil {
 				return
 			}
 			continue
@@ -430,7 +435,8 @@ func (s *Server) handleConn(c *transport.Conn) {
 				resp.PolicyStr = pol.String()
 				resp.PolicyEpoch = s.node.ProposePolicy(pol.String())
 			}
-			if err := c.SendResponse(resp); err != nil {
+			req.Release()
+			if err := s.sendResponse(c, resp); err != nil {
 				return
 			}
 			continue
@@ -444,7 +450,8 @@ func (s *Server) handleConn(c *transport.Conn) {
 				Epoch:       s.sched.EpochSeq(),
 				Shares:      shareRecords(s.ledger.Report()),
 			}
-			if err := c.SendResponse(resp); err != nil {
+			req.Release()
+			if err := s.sendResponse(c, resp); err != nil {
 				return
 			}
 			continue
@@ -464,7 +471,8 @@ func (s *Server) handleConn(c *transport.Conn) {
 			if err := s.migr.LastErr(); err != nil {
 				resp.Names = append(resp.Names, "last-error "+err.Error())
 			}
-			if err := c.SendResponse(resp); err != nil {
+			req.Release()
+			if err := s.sendResponse(c, resp); err != nil {
 				return
 			}
 			continue
@@ -488,6 +496,16 @@ func (s *Server) handleConn(c *transport.Conn) {
 type pending struct {
 	req  *transport.Request
 	conn *transport.Conn
+}
+
+// sendResponse stamps this server's capability set on every outgoing
+// response and sends it. Clients gate pipelined positional appends on
+// having actually observed CapAppendAt from the addressed peer, so an
+// old client (which ignores the trailing Caps field) and an old server
+// (which never sends one) both degrade to the one-RPC-per-span path.
+func (s *Server) sendResponse(c *transport.Conn, resp *transport.Response) error {
+	resp.Caps = transport.CapAppendAt
+	return c.SendResponse(resp)
 }
 
 func opOf(t transport.MsgType) sched.Op {
@@ -557,9 +575,15 @@ func (s *Server) worker() {
 			case *pending:
 				resp := s.execute(p.req)
 				s.served.Add(1)
-				if err := p.conn.SendResponse(resp); err != nil {
+				if err := s.sendResponse(p.conn, resp); err != nil {
 					s.log.Warn("reply failed", "err", err)
 				}
+				// Both frames go back to the payload pool only after the
+				// reply is on the wire: the request's Data fed the extent
+				// write (copied there), the response's Data just rode out
+				// as an iovec.
+				p.req.Release()
+				resp.Release()
 				s.met.observeRequest(r.Op, s.now()-r.Arrive)
 			case *backing.Task:
 				// A stage-out chunk the token draw selected: the sharing
@@ -620,18 +644,29 @@ func (s *Server) execute(req *transport.Request) *transport.Response {
 	// The live server's router wraps exactly this one shard, so the
 	// shard ops are the router ops.
 	case transport.MsgWrite:
-		if _, err := s.shard.AppendGen(req.Path, req.Data, req.LayoutGen); err != nil {
+		if req.AppendAt {
+			// Pipelined positional append: the worker pool may execute a
+			// stripe's chunks out of order, and the offset makes landing
+			// order-independent (park/drain inside the shard).
+			if _, err := s.shard.AppendAtGen(req.Path, req.AppendOff, req.Data, req.LayoutGen); err != nil {
+				return fail(err)
+			}
+		} else if _, err := s.shard.AppendGen(req.Path, req.Data, req.LayoutGen); err != nil {
 			return fail(err)
 		}
 		resp.N = int64(len(req.Data))
 	case transport.MsgRead:
-		buf := make([]byte, req.Size)
+		// The reply payload is leased, not allocated: it rides out as its
+		// own iovec and the worker returns it to the pool after the send.
+		buf := transport.Lease(int(req.Size))
 		n, err := s.shard.ReadAtGen(req.Path, req.Offset, buf, req.LayoutGen)
 		if err != nil {
+			transport.Release(buf)
 			return fail(err)
 		}
 		resp.N = int64(n)
 		resp.Data = buf[:n]
+		resp.AttachLease(buf)
 	case transport.MsgStat:
 		fi, err := s.shard.StatGen(req.Path, req.LayoutGen)
 		if err != nil {
@@ -744,6 +779,7 @@ func (s *Server) controller() {
 			s.rebalanceTick()
 		}
 		s.shard.SweepMoved(movedRetention)
+		s.shard.SweepParked(parkedRetention)
 		s.applyPolicy()
 		if g := s.table.Refresh(s.now()); g != lastGen {
 			lastGen = g
@@ -859,6 +895,12 @@ func (s *Server) rebalanceTick() {
 // retry window, so the marker map stays bounded without ever cutting a
 // live retry short.
 const movedRetention = 5 * time.Minute
+
+// parkedRetention is how long an out-of-order positional-append chunk
+// may wait for its missing predecessor before the sweep drops it — far
+// beyond any live pipeline's round trip, so only chunks stranded by a
+// dead client are ever dropped.
+const parkedRetention = time.Minute
 
 // goneDone marks a departed member fully reconciled; recoverDelayTicks
 // is how many λ ticks a failure must age before adoption, so every

@@ -7,10 +7,12 @@
 // stays full-fidelity without reimplementing gob's reflective encoding
 // for structures that never appear on the data path.
 //
-// Encode and decode scratch space comes from a sync.Pool, so a
-// steady-state read/write workload allocates only the decoded payload
-// itself (one slice per data-carrying message) — the property the codec
-// benchmark pins against gob.
+// Encode scratch space comes from a sync.Pool and payloads at or above
+// sgMinPayload ride as their own iovecs (writev), so a steady-state
+// write frame encodes with zero allocations and zero payload copies.
+// On decode the frame buffer is leased from the payload pool and the
+// decoded Data aliases it — no copy-out; ownership travels with the
+// message until its Release (see lease.go for the contract).
 package transport
 
 import (
@@ -48,10 +50,46 @@ func getFrameBuf() *frameBuf {
 	return framePool.Get().(*frameBuf)
 }
 
-// writeFrame encodes one message with the pooled scratch buffer and
-// writes it — magic first if this stream has not sent one — as a single
-// raw write. Callers hold c.wmu.
-func (c *Conn) writeFrame(encode func([]byte) []byte) error {
+// sgMinPayload is the payload size at which the send path switches to
+// the vectored (scatter-gather) write: the codec encodes everything
+// except the payload into pooled scratch, and the payload bytes ride as
+// their own iovec(s) straight from caller memory — one writev syscall,
+// zero concatenation copies. Below it one concatenated write wins (the
+// extra iovec bookkeeping costs more than copying a few KiB, and
+// non-TCP conns fall back to one write per iovec anyway).
+const sgMinPayload = 8 << 10
+
+// sendVecFrames / sendVecBytes / sendFlatFrames meter the send path for
+// the operator metrics endpoint: frames that went out vectored, the
+// payload bytes that rode as their own iovecs (the zero-copy bytes),
+// and frames sent as one concatenated write. Process-wide, like the
+// pool counters.
+var sendVecFrames, sendVecBytes, sendFlatFrames atomic.Int64
+
+// IOStats reports the process-wide send-path split: frames sent via the
+// vectored scatter-gather path, the payload bytes those frames carried
+// as caller-owned iovecs, and frames sent as a single concatenated
+// write (small payloads and control traffic).
+func IOStats() (vecFrames, vecPayloadBytes, flatFrames int64) {
+	return sendVecFrames.Load(), sendVecBytes.Load(), sendFlatFrames.Load()
+}
+
+// writeBinFrame sends one binary frame whose encoding has been split
+// around the payload: head holds everything through the payload-length
+// uvarint, tail everything after the payload, and data/segs the payload
+// itself. Large payloads go out vectored as [head][payload...][tail] in
+// one writev; small ones are folded into the scratch buffer and sent as
+// a single write, byte-identical either way. Callers hold c.wmu.
+func (c *Conn) writeBinFrame(data []byte, segs [][]byte,
+	head func(b []byte, dataLen int) []byte, tail func(b []byte) []byte) error {
+
+	n := len(data)
+	if segs != nil {
+		n = 0
+		for _, s := range segs {
+			n += len(s)
+		}
+	}
 	buf := getFrameBuf()
 	b := buf.b[:0]
 	withMagic := !c.magicSent
@@ -60,16 +98,73 @@ func (c *Conn) writeFrame(encode func([]byte) []byte) error {
 	}
 	start := len(b)
 	b = append(b, 0, 0, 0, 0)
-	b = encode(b)
-	if len(b)-start-4 > maxFrame {
+	b = head(b, n)
+	vectored := n >= sgMinPayload
+	if !vectored {
+		if segs != nil {
+			for _, s := range segs {
+				b = append(b, s...)
+			}
+		} else {
+			b = append(b, data...)
+		}
+	}
+	mid := len(b)
+	b = tail(b)
+	plen := len(b) - start - 4
+	if vectored {
+		plen += n
+	}
+	if plen > maxFrame {
 		// Nothing was written: the stream is intact and the magic (if
 		// still owed) must ride the next frame, so don't latch magicSent.
 		buf.b = b
 		framePool.Put(buf)
 		return fmt.Errorf("transport: frame exceeds %d bytes", maxFrame)
 	}
-	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
-	_, err := c.w.Write(b)
+	binary.LittleEndian.PutUint32(b[start:], uint32(plen))
+
+	var err error
+	if !vectored {
+		_, err = c.w.Write(b)
+		sendFlatFrames.Add(1)
+	} else {
+		// The iovec list bypasses the stats counting writer: wrapping
+		// would defeat writev (net.Buffers only vectorizes on the raw
+		// *net.TCPConn), so bytes are credited manually under wmu. The
+		// list is built in the connection's reusable c.iov and WriteTo is
+		// called on the field itself — a local net.Buffers header would
+		// escape into the writev interface check and cost an allocation
+		// per frame, which the 0-alloc encode pin forbids.
+		iov := append(c.iov[:0], b[:mid])
+		if segs != nil {
+			for _, s := range segs {
+				if len(s) > 0 {
+					iov = append(iov, s)
+				}
+			}
+		} else {
+			iov = append(iov, data)
+		}
+		if mid < len(b) {
+			iov = append(iov, b[mid:])
+		}
+		c.iov = iov
+		var nw int64
+		nw, err = c.iov.WriteTo(c.raw)
+		if c.cw != nil {
+			c.cw.n += nw
+		}
+		// WriteTo consumes the list in place; restore the full header and
+		// drop the payload refs so the reusable array cannot pin caller
+		// buffers past the send.
+		for i := range iov {
+			iov[i] = nil
+		}
+		c.iov = iov[:0]
+		sendVecFrames.Add(1)
+		sendVecBytes.Add(int64(n))
+	}
 	if err == nil && withMagic {
 		c.magicSent = true
 	}
@@ -78,30 +173,25 @@ func (c *Conn) writeFrame(encode func([]byte) []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame into pooled scratch and
-// decodes it. The decode callback must copy out anything it keeps.
-func (c *Conn) readFrame(decode func([]byte) error) error {
+// readFrameLeased reads one length-prefixed frame into a buffer leased
+// from the payload pool and returns it. Ownership passes to the caller
+// — normally to the decoded message, whose byte-slice Data aliases the
+// frame and whose Release returns it (see Lease/Release).
+func (c *Conn) readFrameLeased() ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes", n)
+		return nil, fmt.Errorf("transport: frame of %d bytes", n)
 	}
-	buf := getFrameBuf()
-	if cap(buf.b) < int(n) {
-		buf.b = make([]byte, n)
-	}
-	b := buf.b[:n]
+	b := Lease(int(n))
 	if _, err := io.ReadFull(c.br, b); err != nil {
-		framePool.Put(buf)
-		return err
+		Release(b)
+		return nil, err
 	}
-	err := decode(b)
-	buf.b = b
-	framePool.Put(buf)
-	return err
+	return b, nil
 }
 
 // --- primitive writers ---------------------------------------------------
@@ -258,20 +348,16 @@ func (d *reader) str() string {
 	return string(d.raw(d.uvarint()))
 }
 
-// bytes copies the next length-prefixed slice out of the pooled frame
-// (the frame buffer is reused as soon as decode returns).
-func (d *reader) bytes() []byte {
+// alias returns the next length-prefixed slice as a view into the
+// frame buffer — no copy. The frame is leased and owned by the decoded
+// message (Release discipline), so the view stays valid until the
+// message releases it.
+func (d *reader) alias() []byte {
 	n := d.uvarint()
 	if n == 0 {
 		return nil
 	}
-	src := d.raw(n)
-	if src == nil {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, src)
-	return out
+	return d.raw(n)
 }
 
 func (d *reader) strs() []string {
@@ -362,10 +448,14 @@ func (d *reader) members() []MemberRecord {
 
 // AppendRequestFrame appends the binary encoding of r to b (no length
 // prefix) and returns the extended slice. Exported for the codec
-// benchmark; the wire path goes through Conn.
+// benchmark; the wire path goes through Conn. With sufficient capacity
+// in b, encoding allocates nothing — the property the 0-alloc
+// regression test pins.
 func AppendRequestFrame(b []byte, r *Request) []byte { return appendRequest(b, r) }
 
 // DecodeRequestFrame decodes a payload produced by AppendRequestFrame.
+// The decoded Data aliases b — the caller owns the lifetime (on the
+// wire path the alias is a leased frame released via Request.Release).
 func DecodeRequestFrame(b []byte, r *Request) error { return decodeRequest(b, r) }
 
 // AppendResponseFrame appends the binary encoding of r to b.
@@ -374,7 +464,16 @@ func AppendResponseFrame(b []byte, r *Response) []byte { return appendResponse(b
 // DecodeResponseFrame decodes a payload produced by AppendResponseFrame.
 func DecodeResponseFrame(b []byte, r *Response) error { return decodeResponse(b, r) }
 
-func appendRequest(b []byte, r *Request) []byte {
+// reqFlagAppendAt marks the optional trailing group of a request frame
+// as carrying an offset-checked append position (AppendAt/AppendOff).
+// The group is omitted entirely when unused, so a frame without it is
+// byte-identical to what older encoders produced; older decoders never
+// look past the last fixed field and skip the group unparsed.
+const reqFlagAppendAt = 1 << 0
+
+// appendRequestHead appends the fields up to and including the payload
+// length — the prefix of the frame that precedes the Data bytes.
+func appendRequestHead(b []byte, r *Request, dataLen int) []byte {
 	b = append(b, byte(r.Type))
 	b = appendUvarint(b, r.Seq)
 	b = appendString(b, r.Job.JobID)
@@ -386,7 +485,13 @@ func appendRequest(b []byte, r *Request) []byte {
 	b = appendString(b, r.Path)
 	b = appendSvarint(b, r.Offset)
 	b = appendSvarint(b, r.Size)
-	b = appendBytes(b, r.Data)
+	b = appendUvarint(b, uint64(dataLen))
+	return b
+}
+
+// appendRequestTail appends the fields after the Data bytes, plus the
+// optional trailing group (omitted when all-zero — wire compatibility).
+func appendRequestTail(b []byte, r *Request) []byte {
 	b = appendSvarint(b, int64(r.Stripes))
 	b = appendSvarint(b, r.StripeUnit)
 	b = appendStrings(b, r.StripeSet)
@@ -398,7 +503,23 @@ func appendRequest(b []byte, r *Request) []byte {
 	b = appendTable(b, r.Table)
 	b = appendString(b, r.PolicyStr)
 	b = appendUvarint(b, r.PolicyEpoch)
+	if r.AppendAt {
+		b = appendUvarint(b, reqFlagAppendAt)
+		b = appendSvarint(b, r.AppendOff)
+	}
 	return b
+}
+
+func appendRequest(b []byte, r *Request) []byte {
+	b = appendRequestHead(b, r, r.payloadLen())
+	if r.DataSegs != nil {
+		for _, s := range r.DataSegs {
+			b = append(b, s...)
+		}
+	} else {
+		b = append(b, r.Data...)
+	}
+	return appendRequestTail(b, r)
 }
 
 func decodeRequest(b []byte, r *Request) error {
@@ -414,7 +535,7 @@ func decodeRequest(b []byte, r *Request) error {
 	r.Path = d.str()
 	r.Offset = d.svarint()
 	r.Size = d.svarint()
-	r.Data = d.bytes()
+	r.Data = d.alias()
 	r.Stripes = int(d.svarint())
 	r.StripeUnit = d.svarint()
 	r.StripeSet = d.strs()
@@ -426,14 +547,31 @@ func decodeRequest(b []byte, r *Request) error {
 	r.Table = d.table()
 	r.PolicyStr = d.str()
 	r.PolicyEpoch = d.uvarint()
+	// Optional trailing group: present only when a newer sender had
+	// something to say (an older sender's frame ends exactly here).
+	if d.err == nil && len(d.b) > 0 {
+		flags := d.uvarint()
+		if flags&reqFlagAppendAt != 0 {
+			r.AppendAt = true
+			r.AppendOff = d.svarint()
+		}
+	}
 	return d.err
 }
 
-func appendResponse(b []byte, r *Response) []byte {
+// appendResponseHead appends the fields up to and including the payload
+// length — the prefix of the frame that precedes the Data bytes.
+func appendResponseHead(b []byte, r *Response, dataLen int) []byte {
 	b = appendUvarint(b, r.Seq)
 	b = appendString(b, r.Err)
 	b = appendSvarint(b, r.N)
-	b = appendBytes(b, r.Data)
+	b = appendUvarint(b, uint64(dataLen))
+	return b
+}
+
+// appendResponseTail appends the fields after the Data bytes, plus the
+// trailing capability word (omitted when zero — wire compatibility).
+func appendResponseTail(b []byte, r *Response) []byte {
 	b = appendSvarint(b, r.Size)
 	b = appendBool(b, r.IsDir)
 	b = appendStrings(b, r.Names)
@@ -448,7 +586,16 @@ func appendResponse(b []byte, r *Response) []byte {
 	b = appendString(b, r.PolicyStr)
 	b = appendUvarint(b, r.PolicyEpoch)
 	b = appendShares(b, r.Shares)
+	if r.Caps != 0 {
+		b = appendUvarint(b, r.Caps)
+	}
 	return b
+}
+
+func appendResponse(b []byte, r *Response) []byte {
+	b = appendResponseHead(b, r, len(r.Data))
+	b = append(b, r.Data...)
+	return appendResponseTail(b, r)
 }
 
 func decodeResponse(b []byte, r *Response) error {
@@ -456,7 +603,7 @@ func decodeResponse(b []byte, r *Response) error {
 	r.Seq = d.uvarint()
 	r.Err = d.str()
 	r.N = d.svarint()
-	r.Data = d.bytes()
+	r.Data = d.alias()
 	r.Size = d.svarint()
 	r.IsDir = d.bool()
 	r.Names = d.strs()
@@ -471,5 +618,9 @@ func decodeResponse(b []byte, r *Response) error {
 	r.PolicyStr = d.str()
 	r.PolicyEpoch = d.uvarint()
 	r.Shares = d.shares()
+	// Optional trailing capability word (absent from older senders).
+	if d.err == nil && len(d.b) > 0 {
+		r.Caps = d.uvarint()
+	}
 	return d.err
 }

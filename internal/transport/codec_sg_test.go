@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn discards writes — the alloc-measurement target (a net.Pipe
+// would block without a reader and a TCP socket would add syscalls).
+type sinkConn struct{ net.Conn }
+
+func (sinkConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// The receive path leases the frame and the decoded Data aliases it —
+// both directions, both payload sizes (folded flat and vectored).
+func TestLeasedAliasRoundTrip(t *testing.T) {
+	for _, size := range []int{64, sgMinPayload, 1 << 20} {
+		c1, c2 := binaryPair()
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		go func() {
+			_ = c1.SendRequest(&Request{Type: MsgWrite, Seq: 3, Path: "/f", Data: payload})
+		}()
+		req, err := c2.RecvRequest()
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(req.Data, payload) {
+			t.Fatalf("size %d: request payload corrupted", size)
+		}
+		if req.frame == nil {
+			t.Fatalf("size %d: binary-decoded request should own a leased frame", size)
+		}
+		req.Release()
+		if req.Data != nil {
+			t.Fatal("Release must nil Data so stale uses fail loudly")
+		}
+		// Response direction, with the lease attached server-style.
+		go func() {
+			resp := &Response{Seq: 3, N: int64(size)}
+			lease := Lease(size)
+			copy(lease, payload)
+			resp.Data = lease
+			resp.AttachLease(lease)
+			_ = c2.SendResponse(resp)
+			resp.Release()
+		}()
+		resp, err := c1.RecvResponse()
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(resp.Data, payload) {
+			t.Fatalf("size %d: response payload corrupted", size)
+		}
+		resp.Release()
+		c1.Close()
+		c2.Close()
+	}
+}
+
+// Release scribbles the buffer under the poison hook, so any alias read
+// after Release shows corrupt data instead of a heisenbug.
+func TestReleasePoison(t *testing.T) {
+	SetLeasePoison(true)
+	defer SetLeasePoison(false)
+	b := Lease(64 << 10)
+	for i := range b {
+		b[i] = 0xaa
+	}
+	alias := b[100:200]
+	Release(b)
+	for i, v := range alias {
+		if v != leasePoisonByte {
+			t.Fatalf("alias[%d] = %#x after Release, want poison %#x", i, v, leasePoisonByte)
+		}
+	}
+	// Oversized leases (above the top class) are plain allocations and
+	// Release must leave them alone.
+	big := Lease(8 << 20)
+	big[0] = 1
+	Release(big)
+	if big[0] != 1 {
+		t.Fatal("Release must not touch an above-class buffer")
+	}
+}
+
+// A segmented payload (DataSegs) is byte-identical on the wire to the
+// same bytes sent flat — on the binary codec (both the folded and the
+// vectored path) and on the legacy gob codec (which flattens).
+func TestSegmentedSendEqualsFlat(t *testing.T) {
+	for _, size := range []int{100, 64 << 10} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 13)
+		}
+		segs := [][]byte{payload[:size/3], payload[size/3 : size/2], payload[size/2:]}
+		for _, legacy := range []bool{false, true} {
+			a, b := net.Pipe()
+			var c1 *Conn
+			if legacy {
+				c1 = NewConn(a)
+			} else {
+				c1 = NewBinaryConn(a)
+			}
+			c2 := NewConn(b)
+			req := &Request{Type: MsgWrite, Seq: 9, Path: "/f", DataSegs: segs, LayoutGen: 2}
+			go func() { _ = c1.SendRequest(req) }()
+			got, err := c2.RecvRequest()
+			if err != nil {
+				t.Fatalf("legacy=%v size=%d: %v", legacy, size, err)
+			}
+			if !bytes.Equal(got.Data, payload) || got.DataSegs != nil {
+				t.Fatalf("legacy=%v size=%d: segmented send did not arrive flat and intact", legacy, size)
+			}
+			if req.DataSegs == nil || req.Data != nil {
+				t.Fatal("send must not mutate the caller's request")
+			}
+			got.Release()
+			c1.Close()
+			c2.Close()
+		}
+	}
+}
+
+// Wire compatibility across versions: a frame without the new trailing
+// fields is byte-identical to the pre-scatter-gather encoding (the new
+// group is a strict suffix), an old-style frame decodes with the new
+// fields zero, and unknown future trailing bytes are skipped unparsed —
+// the exact properties that let a PR 6 peer interoperate with this one.
+func TestWireCompatTrailingFields(t *testing.T) {
+	base := sampleRequest()
+	old := appendRequest(nil, base)
+
+	at := sampleRequest()
+	at.AppendAt = true
+	at.AppendOff = 1 << 30
+	newer := appendRequest(nil, at)
+	if !bytes.HasPrefix(newer, old) || len(newer) == len(old) {
+		t.Fatal("the AppendAt group must extend the old encoding as a strict suffix")
+	}
+
+	var got Request
+	if err := decodeRequest(old, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.AppendAt || got.AppendOff != 0 {
+		t.Fatal("an old-style frame must decode with the trailing fields zero")
+	}
+	if err := decodeRequest(newer, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.AppendAt || got.AppendOff != 1<<30 {
+		t.Fatalf("trailing group lost: %+v", got)
+	}
+	// A yet-newer sender may append bytes this decoder has never heard
+	// of; they must be ignored, not failed.
+	future := append(append([]byte{}, newer...), 0x80, 0x01, 0xde, 0xad)
+	if err := decodeRequest(future, &got); err != nil {
+		t.Fatalf("unknown trailing bytes must be skipped: %v", err)
+	}
+
+	// Response side: the capability word.
+	r := &Response{Seq: 7, N: 5, Size: 99}
+	oldR := appendResponse(nil, r)
+	r.Caps = CapAppendAt
+	newR := appendResponse(nil, r)
+	if !bytes.HasPrefix(newR, oldR) || len(newR) == len(oldR) {
+		t.Fatal("the Caps word must extend the old encoding as a strict suffix")
+	}
+	var gotR Response
+	if err := decodeResponse(oldR, &gotR); err != nil || gotR.Caps != 0 {
+		t.Fatalf("old-style response: caps=%d err=%v", gotR.Caps, err)
+	}
+	if err := decodeResponse(newR, &gotR); err != nil || gotR.Caps != CapAppendAt {
+		t.Fatalf("caps word lost: caps=%d err=%v", gotR.Caps, err)
+	}
+}
+
+// The steady-state encode of a 64 KiB data frame performs zero
+// allocations: scratch comes from the pool, the payload rides as an
+// iovec, and the iovec list is the connection's reusable field. This is
+// the regression pin for the zero-copy send path.
+func TestEncodeAllocs(t *testing.T) {
+	c := NewBinaryConn(sinkConn{})
+	data := make([]byte, 64<<10)
+	req := &Request{Type: MsgWrite, Seq: 1, Path: "/bench/file", Data: data, LayoutGen: 3}
+	for i := 0; i < 8; i++ { // warm the scratch pool and iovec array
+		if err := c.SendRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := c.SendRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("64 KiB data frame encode = %v allocs/op, want 0", n)
+	}
+}

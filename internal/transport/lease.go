@@ -1,0 +1,98 @@
+// Payload buffer leasing: the tiered sync.Pool behind the zero-copy
+// receive path. A binary-decoded message's Data no longer copies out of
+// the frame scratch — the frame buffer itself is leased from this pool,
+// the decoded byte-slice fields alias it, and ownership rides with the
+// message until its Release. The server's read path leases its reply
+// payloads from the same pool, so a steady read/write workload recycles
+// stripe-unit-sized buffers instead of allocating one per data message.
+//
+// Ownership contract (see ARCHITECTURE.md "Data path"):
+//
+//   - Lease(n) returns a []byte of length n whose backing array came
+//     from the pool (or a fresh allocation on a miss, or a plain
+//     allocation above the largest class).
+//   - Release(b) returns the backing array to its size class. b must be
+//     a slice obtained from Lease (reslicing the front, b[:k], is fine —
+//     the backing array is recycled whole). Releasing is optional:
+//     an unreleased buffer falls to the garbage collector like any
+//     other allocation — a throughput leak, never a correctness one.
+//   - After Release, the buffer and every alias of it must not be
+//     touched. SetLeasePoison(true) (tests) scribbles released buffers
+//     so a use-after-release shows up as corrupt data under -race
+//     instead of a heisenbug.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// leaseClasses are the payload size classes, spanning a heartbeat frame
+// up to the largest adaptive stripe unit. Above the top class Lease
+// falls back to a plain allocation (Release ignores it).
+var leaseClasses = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+var leasePools [len(leaseClasses)]sync.Pool
+
+// leaseGets / leaseMisses meter the payload pool for the operator
+// metrics endpoint, mirroring the scratch pool's PoolStats.
+var leaseGets, leaseMisses atomic.Int64
+
+// leasePoison, when set, scribbles released buffers (test hook).
+var leasePoison atomic.Bool
+
+// leasePoisonByte is what a released buffer is filled with under
+// SetLeasePoison — distinctive enough that it cannot pass for payload
+// in a content-checked test.
+const leasePoisonByte = 0xdb
+
+// Lease returns a length-n byte slice backed by the payload pool.
+func Lease(n int) []byte {
+	leaseGets.Add(1)
+	for i, sz := range leaseClasses {
+		if n <= sz {
+			if v := leasePools[i].Get(); v != nil {
+				return v.([]byte)[:n]
+			}
+			leaseMisses.Add(1)
+			return make([]byte, n, sz)
+		}
+	}
+	leaseMisses.Add(1)
+	return make([]byte, n)
+}
+
+// Release returns a leased buffer's backing array to its size class.
+// Slices whose capacity matches no class (plain allocations above the
+// top class, or foreign slices) are left to the garbage collector.
+func Release(b []byte) {
+	if b == nil {
+		return
+	}
+	c := cap(b)
+	for i, sz := range leaseClasses {
+		if c == sz {
+			full := b[:sz]
+			if leasePoison.Load() {
+				for j := range full {
+					full[j] = leasePoisonByte
+				}
+			}
+			//lint:ignore SA6002 the slice-header box is one 24-byte allocation per release, dwarfed by the payload it recycles
+			leasePools[i].Put(full)
+			return
+		}
+	}
+}
+
+// LeaseStats reports the payload pool's lifetime gets and misses (a
+// miss is a Lease that had to allocate). Process-wide, like PoolStats.
+func LeaseStats() (gets, misses int64) {
+	return leaseGets.Load(), leaseMisses.Load()
+}
+
+// SetLeasePoison toggles scribbling of released buffers — a test hook
+// that turns any read-after-Release into visibly corrupt data. Safe to
+// leave on for whole test binaries: a correct program never observes a
+// released buffer.
+func SetLeasePoison(on bool) { leasePoison.Store(on) }

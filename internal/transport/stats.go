@@ -119,6 +119,21 @@ func NewConnStats(raw net.Conn, st *Stats) *Conn {
 	}
 }
 
+// NewBinaryConnStats is NewBinaryConn with per-message accounting into
+// st: an instrumented dial side (the themisctl network probe). Passing
+// nil st is NewBinaryConn.
+func NewBinaryConnStats(raw net.Conn, st *Stats) *Conn {
+	if st == nil {
+		return NewBinaryConn(raw)
+	}
+	cr := &countReader{r: raw}
+	cw := &countWriter{w: raw}
+	return &Conn{
+		raw: raw, w: cw, br: bufio.NewReader(cr),
+		cr: cr, cw: cw, stats: st, sendBin: true,
+	}
+}
+
 // recvPos returns the stream position the reader has consumed up to:
 // raw bytes read minus the decoder read-ahead still buffered.
 func (c *Conn) recvPos() int64 { return c.cr.n - int64(c.br.Buffered()) }

@@ -182,6 +182,23 @@ type Request struct {
 	Offset int64
 	Size   int64
 	Data   []byte
+	// DataSegs, when non-nil, is the write payload as a scatter list
+	// (Data must then be nil): the client's striped-write path hands
+	// the per-server spans of the caller's buffer here and the binary
+	// sender carries each segment as its own iovec — no concatenation
+	// copy. The wire form is identical to Data (one contiguous payload
+	// field); DataSegs never appears on the receive side. The gob
+	// fallback flattens it before encoding.
+	DataSegs [][]byte
+
+	// AppendAt marks a write as offset-checked: the server appends only
+	// if the local stripe length equals AppendOff, parking early
+	// arrivals and discarding duplicates — what keeps pipelined chunk
+	// streams in order per stripe under the server's unordered worker
+	// pool. Rides the optional trailing frame group (older peers ignore
+	// it); clients set it only after the peer advertised CapAppendAt.
+	AppendAt  bool
+	AppendOff int64
 
 	// Stripes, StripeUnit and StripeSet are the file's stripe layout,
 	// sent with MsgCreate so the servers record it in the file
@@ -223,6 +240,39 @@ type Request struct {
 	// set has ever happened and is never merged).
 	PolicyStr   string
 	PolicyEpoch uint64
+
+	// frame is the leased receive buffer a binary-decoded request's
+	// Data aliases; Release returns it to the payload pool.
+	frame []byte
+}
+
+// payloadLen is the request's wire payload length: Data, or the scatter
+// list's total when DataSegs is set.
+func (r *Request) payloadLen() int {
+	if r.DataSegs == nil {
+		return len(r.Data)
+	}
+	n := 0
+	for _, s := range r.DataSegs {
+		n += len(s)
+	}
+	return n
+}
+
+// Release returns the leased frame buffer this request's Data aliases
+// to the payload pool (no-op for gob-decoded or locally built
+// requests). After Release neither r.Data nor any alias of it may be
+// used; Data is nilled so a stale use fails loudly. Releasing is
+// optional — an unreleased frame is garbage-collected — but the hot
+// paths (server workers, the client's response consumers) release so
+// steady-state traffic recycles instead of allocating.
+func (r *Request) Release() {
+	if r.frame != nil {
+		b := r.frame
+		r.frame = nil
+		r.Data = nil
+		Release(b)
+	}
 }
 
 // Response answers a Request, matched by Seq.
@@ -261,7 +311,43 @@ type Response struct {
 	PolicyEpoch uint64
 	// Shares is the per-entity fairness report (MsgShareReport).
 	Shares []ShareRecord
+
+	// Caps advertises the responder's protocol capabilities (CapAppendAt
+	// and friends). Carried as the optional trailing frame word — older
+	// peers neither send nor parse it, so a zero Caps from the wire
+	// means "legacy peer" and gates every newer protocol feature off.
+	Caps uint64
+
+	// frame is the leased buffer this response's Data aliases: the
+	// receive frame (binary decode), or the server read path's reply
+	// payload (AttachLease). Release returns it.
+	frame []byte
 }
+
+// Capability bits for Response.Caps.
+const (
+	// CapAppendAt: the server honors Request.AppendAt offset-checked
+	// ordered appends, which is what licenses a client to pipeline
+	// striped write chunks without a round trip between them.
+	CapAppendAt uint64 = 1 << 0
+)
+
+// Release returns the leased buffer this response's Data aliases to the
+// payload pool (no-op for gob-decoded responses). Same contract as
+// Request.Release.
+func (r *Response) Release() {
+	if r.frame != nil {
+		b := r.frame
+		r.frame = nil
+		r.Data = nil
+		Release(b)
+	}
+}
+
+// AttachLease hands the response ownership of a leased buffer that its
+// Data aliases — the server read path leases its reply payload and the
+// worker releases it after the reply is on the wire.
+func (r *Response) AttachLease(b []byte) { r.frame = b }
 
 // Error materializes the response error, nil if none.
 func (r *Response) Error() error {
@@ -331,6 +417,8 @@ type Conn struct {
 	sendBin   bool
 	adopt     bool
 	magicSent bool
+	// iov is the reusable iovec scratch of the vectored send path.
+	iov net.Buffers
 
 	// Receive state, owned by the single reader goroutine.
 	dec      *gob.Decoder
@@ -388,10 +476,23 @@ func (c *Conn) SendRequest(r *Request) error {
 	}
 	var err error
 	if c.sendBin {
-		err = c.writeFrame(func(b []byte) []byte { return appendRequest(b, r) })
+		err = c.writeBinFrame(r.Data, r.DataSegs,
+			func(b []byte, n int) []byte { return appendRequestHead(b, r, n) },
+			func(b []byte) []byte { return appendRequestTail(b, r) })
 	} else {
 		if c.enc == nil {
 			c.enc = gob.NewEncoder(c.w)
+		}
+		if r.DataSegs != nil {
+			// gob has no scatter path: flatten into a shallow copy so the
+			// caller's request (and its segment list) stays untouched.
+			rr := *r
+			rr.Data = make([]byte, 0, rr.payloadLen())
+			for _, s := range r.DataSegs {
+				rr.Data = append(rr.Data, s...)
+			}
+			rr.DataSegs = nil
+			r = &rr
 		}
 		err = c.enc.Encode(r)
 	}
@@ -411,7 +512,9 @@ func (c *Conn) SendResponse(r *Response) error {
 	}
 	var err error
 	if c.sendBin {
-		err = c.writeFrame(func(b []byte) []byte { return appendResponse(b, r) })
+		err = c.writeBinFrame(r.Data, nil,
+			func(b []byte, n int) []byte { return appendResponseHead(b, r, n) },
+			func(b []byte) []byte { return appendResponseTail(b, r) })
 	} else {
 		if c.enc == nil {
 			c.enc = gob.NewEncoder(c.w)
@@ -430,10 +533,18 @@ func (c *Conn) RecvRequest() (*Request, error) {
 		return nil, err
 	}
 	if c.recvBin {
-		r := new(Request)
-		if err := c.readFrame(func(b []byte) error { return decodeRequest(b, r) }); err != nil {
+		b, err := c.readFrameLeased()
+		if err != nil {
 			return nil, err
 		}
+		r := new(Request)
+		if err := decodeRequest(b, r); err != nil {
+			Release(b)
+			return nil, err
+		}
+		// The decoded Data aliases the leased frame; ownership rides
+		// with the request until its Release.
+		r.frame = b
 		if c.stats != nil {
 			c.noteRecv(int(r.Type))
 		}
@@ -458,10 +569,16 @@ func (c *Conn) RecvResponse() (*Response, error) {
 		return nil, err
 	}
 	if c.recvBin {
-		r := new(Response)
-		if err := c.readFrame(func(b []byte) error { return decodeResponse(b, r) }); err != nil {
+		b, err := c.readFrameLeased()
+		if err != nil {
 			return nil, err
 		}
+		r := new(Response)
+		if err := decodeResponse(b, r); err != nil {
+			Release(b)
+			return nil, err
+		}
+		r.frame = b
 		if c.stats != nil {
 			c.noteRecv(respSlot)
 		}
