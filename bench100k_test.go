@@ -1,0 +1,224 @@
+// Control-plane-at-scale benchmarks: the PR 9 acceptance pair. At 100k
+// active jobs the steady-state controller cost must be O(churn), not
+// O(jobs) — delta recompilation against from-scratch compilation, and
+// the hierarchical lazy share ledger against the flat pre-refactor roll
+// that re-walked the whole universe every λ.
+package themisio
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"themisio/internal/jobtable"
+	"themisio/internal/metrics"
+	"themisio/internal/policy"
+)
+
+// makeJobsWide is makeJobs with zero-padding wide enough that 100k ids
+// stay in lexicographic JobID order (the active-set snapshot contract).
+func makeJobsWide(n int) []policy.JobInfo {
+	jobs := make([]policy.JobInfo, n)
+	for i := range jobs {
+		jobs[i] = policy.JobInfo{
+			JobID:   fmt.Sprintf("job%06d", i),
+			UserID:  fmt.Sprintf("user%03d", i%257),
+			GroupID: fmt.Sprintf("grp%d", i%5),
+			Nodes:   i%64 + 1,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkCompile100kJobs measures one controller recompile at 100k
+// active jobs under the three-tier composite policy. "full" is the
+// from-scratch Compile the controller used to pay on every generation
+// move; "delta" is the incremental Recompile over a churn of 10 jobs
+// (10 departures + 10 arrivals per op, the paper's per-λ churn scale),
+// chained so each op patches the previous op's epoch exactly as the
+// live controller does. The PR 9 acceptance bar is delta ≥ 50× full.
+func BenchmarkCompile100kJobs(b *testing.B) {
+	const nJobs = 100_000
+	const churn = 10
+	jobs := makeJobsWide(nJobs)
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := policy.Compile(jobs, policy.GroupUserSizeFair); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("delta", func(b *testing.B) {
+		prev, err := policy.Compile(jobs, policy.GroupUserSizeFair)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// live is the FIFO of current job ids: each op retires the 10
+		// oldest and admits 10 new arrivals, holding the set at 100k.
+		live := make([]string, nJobs)
+		for i, j := range jobs {
+			live[i] = j.JobID
+		}
+		head, next := 0, nJobs
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var d policy.Delta
+			for k := 0; k < churn; k++ {
+				d.Removed = append(d.Removed, live[head%nJobs])
+				id := fmt.Sprintf("job%06d", next)
+				d.Added = append(d.Added, policy.JobInfo{
+					JobID:   id,
+					UserID:  fmt.Sprintf("user%03d", next%257),
+					GroupID: fmt.Sprintf("grp%d", next%5),
+					Nodes:   next%64 + 1,
+				})
+				live[head%nJobs] = id
+				head++
+				next++
+			}
+			prev, err = policy.Recompile(prev, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if prev.JobCount() != nJobs {
+			b.Fatalf("job count drifted to %d", prev.JobCount())
+		}
+	})
+}
+
+// flatLedgerRoll reproduces the pre-refactor ShareLedger.Roll exactly:
+// cumulative counters diffed against the previous snapshot, then a row
+// emitted for every active job — O(universe) per λ regardless of how
+// many jobs actually serviced bytes. Benchmark baseline only (the
+// mutexThemis pattern).
+type flatLedgerRoll struct {
+	horizon int
+	prev    map[string]int64
+	windows []map[string]int64
+}
+
+func (l *flatLedgerRoll) roll(cum map[string]int64, jobs []policy.JobInfo, shareOf func(string) float64) []metrics.ShareEntry {
+	delta := make(map[string]int64)
+	for job, n := range cum {
+		if d := n - l.prev[job]; d > 0 {
+			delta[job] = d
+		}
+	}
+	l.prev = cum
+	l.windows = append(l.windows, delta)
+	if len(l.windows) > l.horizon {
+		l.windows = l.windows[len(l.windows)-l.horizon:]
+	}
+	bytes := make(map[string]int64)
+	var total int64
+	for _, w := range l.windows {
+		for job, d := range w {
+			bytes[job] += d
+			total += d
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	type agg struct {
+		compiled float64
+		bytes    int64
+	}
+	users := map[string]*agg{}
+	groups := map[string]*agg{}
+	add := func(m map[string]*agg, key string, c float64, n int64) {
+		a, ok := m[key]
+		if !ok {
+			a = &agg{}
+			m[key] = a
+		}
+		a.compiled += c
+		a.bytes += n
+	}
+	var out []metrics.ShareEntry
+	for _, j := range jobs {
+		c := shareOf(j.JobID)
+		n := bytes[j.JobID]
+		out = append(out, metrics.ShareEntry{
+			Kind: "job", ID: j.JobID,
+			Compiled: c, Measured: float64(n) / float64(total), Bytes: n,
+		})
+		add(users, j.UserID, c, n)
+		add(groups, j.GroupID, c, n)
+	}
+	emit := func(kind string, m map[string]*agg) {
+		for id, a := range m {
+			out = append(out, metrics.ShareEntry{
+				Kind: kind, ID: id,
+				Compiled: a.compiled, Measured: float64(a.bytes) / float64(total), Bytes: a.bytes,
+			})
+		}
+	}
+	emit("user", users)
+	emit("group", groups)
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Kind != out[k].Kind {
+			return out[i].Kind < out[k].Kind
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// BenchmarkLedgerRoll100k measures one λ share-ledger roll on a fabric
+// that knows 100k jobs of which 1k serviced bytes in the window.
+// "hier" is the hierarchical lazy ledger (per-window deltas, entities
+// materialised only for traffic); "flat" the pre-refactor roll that
+// diffed a 100k-entry cumulative snapshot and emitted a row per active
+// job. The PR 9 acceptance bar is hier ≥ 10× flat.
+func BenchmarkLedgerRoll100k(b *testing.B) {
+	const nJobs = 100_000
+	const active = 1_000
+	jobs := makeJobsWide(nJobs)
+	snap := &jobtable.ActiveSet{Gen: 1, Jobs: jobs}
+	shareOf := func(string) float64 { return 1.0 / nJobs }
+
+	b.Run("hier", func(b *testing.B) {
+		l := metrics.NewShareLedger(metrics.DefaultShareHorizon)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delta := make(map[string]int64, active)
+			for k := 0; k < active; k++ {
+				delta[jobs[(i*active+k)%nJobs].JobID] = 1 << 20
+			}
+			l.Roll(time.Duration(i)*time.Second, delta, snap.Lookup, shareOf)
+		}
+	})
+
+	b.Run("flat", func(b *testing.B) {
+		l := &flatLedgerRoll{horizon: metrics.DefaultShareHorizon, prev: map[string]int64{}}
+		cum := make(map[string]int64, nJobs)
+		for _, j := range jobs {
+			cum[j.JobID] = 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-refactor contract: a full cumulative snapshot per
+			// roll (its construction was part of every λ's cost).
+			next := make(map[string]int64, nJobs)
+			for job, v := range cum {
+				next[job] = v
+			}
+			for k := 0; k < active; k++ {
+				next[jobs[(i*active+k)%nJobs].JobID] += 1 << 20
+			}
+			cum = next
+			if l.roll(cum, jobs, shareOf) == nil {
+				b.Fatal("flat roll produced no report")
+			}
+		}
+	})
+}

@@ -17,9 +17,10 @@ import (
 )
 
 // defaultGuard covers the zero-copy data plane's two acceptance
-// numbers: striped fabric throughput (MB/s) and the wire codec
-// (ns/op).
-const defaultGuard = "StripedThroughput|Codec/binary"
+// numbers — striped fabric throughput (MB/s) and the wire codec
+// (ns/op) — plus the control-plane-at-scale pair: the incremental
+// recompile and the hierarchical ledger roll at 100k entries.
+const defaultGuard = "StripedThroughput|Codec/binary|Compile100kJobs/delta|LedgerRoll100k/hier"
 
 // loadBenchFile reads one trajectory JSON produced by -bench mode.
 func loadBenchFile(path string) (*BenchFile, error) {

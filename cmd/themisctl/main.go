@@ -37,7 +37,11 @@
 // `policy status` prints, per listed server, the policy it is
 // enforcing (string + applied epoch) and each sharing entity's
 // compiled token share versus measured serviced-byte share with the
-// convergence residual. See docs/OPERATIONS.md for the runbook.
+// convergence residual. By default only the 20 worst entities by
+// |residual| are shown (`-top N` adjusts, 0 shows all; `-kind
+// {job,user,group}` restricts to one entity kind) — the filter is
+// applied server-side, so a 100k-entity fabric answers with a
+// screenful. See docs/OPERATIONS.md for the runbook.
 //
 // `metrics ADDR [PREFIX]` scrapes the operator endpoint a server runs
 // with -metrics-addr and prints the Prometheus exposition (optionally
@@ -63,9 +67,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -96,6 +102,8 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stripes := fs.Int("stripes", 1, "servers each file's data spans")
 	stripeUnitStr := fs.String("stripe-unit", "0",
 		"bytes per stripe chunk (0 = default, 'auto' = size from the measured bandwidth-delay product)")
+	topN := fs.Int("top", 20, "policy status: show only the top N entities by |residual| (0 = all)")
+	kind := fs.String("kind", "", "policy status: restrict rows to one entity kind (job, user or group; empty = all)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -176,8 +184,20 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 			return 0
 		case "status":
+			// -top/-kind read naturally after the subcommand
+			// (`policy status -top 5 -kind user`), but the global parse
+			// stops at the first positional arg — re-parse the tail so
+			// both positions work.
+			if len(args) > 2 {
+				if err := fs.Parse(args[2:]); err != nil {
+					return 2
+				}
+			}
+			if *kind != "" && *kind != "all" && *kind != "job" && *kind != "user" && *kind != "group" {
+				return usage("policy status", fmt.Errorf("unknown -kind %q (want job, user or group)", *kind))
+			}
 			for _, addr := range addrs {
-				if err := policyStatusCmd(stdout, addr); err != nil {
+				if err := policyStatusCmd(stdout, addr, *topN, *kind); err != nil {
 					return fail("policy status "+addr, err)
 				}
 			}
@@ -376,14 +396,37 @@ func policySetCmd(w io.Writer, addr, policyStr string) error {
 // share with the convergence residual, per job, user and group. After
 // a `policy set`, every server converging to the new epoch with small
 // residuals is the live signal the swap has landed.
-func policyStatusCmd(w io.Writer, addr string) error {
-	resp, err := controlExchange(addr, &transport.Request{Type: transport.MsgShareReport})
+//
+// top and kind page the report server-side (top N by |residual|,
+// optionally one entity kind) so a 100k-entity fabric answers with a
+// screenful, not the world; the same filter is re-applied client-side
+// as a fallback for older servers that ignore the request fields.
+func policyStatusCmd(w io.Writer, addr string, top int, kind string) error {
+	resp, err := controlExchange(addr, &transport.Request{
+		Type: transport.MsgShareReport, ShareTopN: top, ShareKind: kind,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%s\tpolicy %s\tapplied-epoch %d\tscheduler-epoch %d\n",
 		addr, resp.PolicyStr, resp.PolicyEpoch, resp.Epoch)
-	for _, s := range resp.Shares {
+	shares := resp.Shares
+	if kind != "" && kind != "all" {
+		kept := shares[:0]
+		for _, s := range shares {
+			if s.Kind == kind {
+				kept = append(kept, s)
+			}
+		}
+		shares = kept
+	}
+	if top > 0 && len(shares) > top {
+		sort.SliceStable(shares, func(i, k int) bool {
+			return math.Abs(shares[i].Residual()) > math.Abs(shares[k].Residual())
+		})
+		shares = shares[:top]
+	}
+	for _, s := range shares {
 		fmt.Fprintf(w, "%s\t%-5s %-24s compiled %.3f measured %.3f residual %+.3f (%d bytes)\n",
 			addr, s.Kind, s.ID, s.Compiled, s.Measured, s.Residual(), s.Bytes)
 	}

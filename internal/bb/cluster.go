@@ -153,8 +153,15 @@ func NewCluster(cfg Config) *Cluster {
 type policyControl interface{ SetPolicy(policy.Policy) }
 
 type shareAccounting interface {
-	ServedBytes() map[string]int64
+	ServedBytesDelta() map[string]int64
 	Share(job string) float64
+}
+
+// deltaScheduler is the slice of core.Themis the simulator uses to
+// mirror the live controller's incremental recompile path; schedulers
+// without it fall back to full SetJobs.
+type deltaScheduler interface {
+	ApplyDelta(jobs []policy.JobInfo, d policy.Delta)
 }
 
 // SwapPolicy schedules a live policy hot-swap at virtual time at: each
@@ -191,7 +198,10 @@ func (c *Cluster) rollLedgers() {
 		if !ok {
 			continue
 		}
-		s.ledger.Roll(now, sa.ServedBytes(), s.table.Active(now), sa.Share)
+		// Refresh first so the lazy per-job attribution resolves against
+		// a snapshot current as of the window close.
+		s.table.Refresh(now)
+		s.ledger.Roll(now, sa.ServedBytesDelta(), s.table.ActiveSnapshot().Lookup, sa.Share)
 	}
 }
 
@@ -440,9 +450,18 @@ func (s *server) serve(now time.Duration, dt time.Duration) {
 	if s.failed {
 		return
 	}
-	if g := s.table.Generation(); s.dirty || g != s.lastGen {
+	if g := s.table.Refresh(now); s.dirty || g != s.lastGen {
+		snap := s.table.ActiveSnapshot()
+		ds, canDelta := s.sch.(deltaScheduler)
+		if d, ok := s.table.DeltaSince(s.lastGen); ok && canDelta && !s.dirty {
+			// The live controller's incremental path, mirrored: patch
+			// the previous epoch's share tree with the generation delta
+			// instead of recompiling the whole job set.
+			ds.ApplyDelta(snap.Jobs, d)
+		} else {
+			s.sch.SetJobs(snap.Jobs)
+		}
 		s.lastGen = g
-		s.sch.SetJobs(s.table.Active(now))
 		s.dirty = false
 	}
 	sec := dt.Seconds()

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"themisio/internal/policy"
+	"themisio/internal/sched"
+)
+
+// ApplyDelta publishes the same shares as a full SetJobs and counts as
+// a delta compile; the unsafe shapes (no epoch yet, policy changed
+// underneath) fall back to full compilation transparently.
+func TestApplyDeltaCompilesIncrementally(t *testing.T) {
+	th := New(policy.UserThenSizeFair, 1)
+
+	// No epoch yet → full-compile fallback.
+	js := jobs("a", "b")
+	th.ApplyDelta(js, policy.Delta{Added: js})
+	if th.CompilesFull() != 1 || th.CompilesDelta() != 0 {
+		t.Fatalf("bootstrap: full=%d delta=%d, want 1/0", th.CompilesFull(), th.CompilesDelta())
+	}
+
+	// Incremental add.
+	js = jobs("a", "b", "c")
+	th.ApplyDelta(js, policy.Delta{Added: jobs("c")})
+	if th.CompilesFull() != 1 || th.CompilesDelta() != 1 {
+		t.Fatalf("delta add: full=%d delta=%d, want 1/1", th.CompilesFull(), th.CompilesDelta())
+	}
+	ref := New(policy.UserThenSizeFair, 1)
+	ref.SetJobs(js)
+	for _, j := range js {
+		if got, want := th.Share(j.JobID), ref.Share(j.JobID); got != want {
+			t.Fatalf("share(%s) = %v via delta, %v via full", j.JobID, got, want)
+		}
+	}
+	if th.EpochSeq() != 2 {
+		t.Fatalf("epoch seq = %d, want 2", th.EpochSeq())
+	}
+
+	// Job-count mismatch (bogus delta) → full-compile fallback.
+	js = jobs("a", "b", "c", "d")
+	th.ApplyDelta(js, policy.Delta{})
+	if th.CompilesFull() != 2 {
+		t.Fatalf("mismatched delta must full-compile: full=%d", th.CompilesFull())
+	}
+	if got, want := th.Share("d"), 0.25; got != want {
+		t.Fatalf("share(d) = %v, want %v", got, want)
+	}
+
+	// SetPolicy republishes under the new policy, so a later empty
+	// delta stays on the incremental path against the fresh epoch.
+	th.SetPolicy(policy.SizeFair)
+	full, delta := th.CompilesFull(), th.CompilesDelta()
+	th.ApplyDelta(js, policy.Delta{})
+	if th.CompilesFull() != full || th.CompilesDelta() != delta+1 {
+		t.Fatalf("post-SetPolicy ApplyDelta: full=%d delta=%d, want %d/%d",
+			th.CompilesFull(), th.CompilesDelta(), full, delta+1)
+	}
+	if got := th.Compiles(); got != th.CompilesFull()+th.CompilesDelta() {
+		t.Fatalf("Compiles() = %d, want full+delta = %d", got, th.CompilesFull()+th.CompilesDelta())
+	}
+}
+
+// ServedBytesDelta drains only jobs that serviced bytes since the last
+// drain, and deltas sum to the cumulative counters.
+func TestServedBytesDelta(t *testing.T) {
+	th := New(policy.JobFair, 1)
+	th.SetJobs(jobs("a", "b", "c"))
+	th.Push(req("a", 100))
+	th.Push(req("b", 50))
+	for th.Pop(0, nil) != nil {
+	}
+	d := th.ServedBytesDelta()
+	if len(d) != 2 || d["a"] != 100 || d["b"] != 50 {
+		t.Fatalf("first drain = %v, want a:100 b:50", d)
+	}
+	// Idle window: nothing dirty, empty drain.
+	if d := th.ServedBytesDelta(); len(d) != 0 {
+		t.Fatalf("idle drain = %v, want empty", d)
+	}
+	// Next window only reports the new traffic.
+	th.Push(req("a", 7))
+	if r := th.Pop(0, nil); r == nil {
+		t.Fatal("pop failed")
+	}
+	d = th.ServedBytesDelta()
+	if len(d) != 1 || d["a"] != 7 {
+		t.Fatalf("second drain = %v, want a:7", d)
+	}
+	if got := th.ServedBytes()["a"]; got != 107 {
+		t.Fatalf("cumulative a = %d, want 107", got)
+	}
+	// Metadata ops charge their nominal cost too.
+	th.Push(&sched.Request{Job: policy.JobInfo{JobID: "c"}, Op: sched.OpStat})
+	if r := th.Pop(0, nil); r == nil {
+		t.Fatal("meta pop failed")
+	}
+	if d := th.ServedBytesDelta(); d["c"] == 0 {
+		t.Fatalf("meta drain = %v, want nonzero c", d)
+	}
+}

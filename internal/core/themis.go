@@ -67,6 +67,14 @@ type jobState struct {
 	// The controller's λ share ledger turns these into measured
 	// per-entity shares to compare against the compiled token shares.
 	bytes atomic.Int64
+	// dirty flags that bytes moved since the controller's last
+	// ServedBytesDelta drain; the first charge per window also appends
+	// the job to the scheduler's dirty list, so a λ drain touches only
+	// jobs that actually serviced bytes — O(active), not O(known).
+	dirty atomic.Bool
+	// lastReported is the bytes value at the last drain. Controller-only
+	// (single ServedBytesDelta caller), so no atomics needed.
+	lastReported int64
 }
 
 // backlogged reports whether any class has queued work (the allow==nil
@@ -81,12 +89,24 @@ func (s *jobState) backlogged() bool {
 type epoch struct {
 	seq      uint64
 	compiled *policy.Compiled
-	// states[i] and shards[i] are the jobState and lock stripe of
-	// Assignment.Segments[i]'s job, resolved once at publication so the
-	// per-pop path does no hashing and no map lookups outside the
-	// queue itself.
-	states []*jobState
-	shards []*shard
+	// The draw tables, derived from the assignment's scope blocks once
+	// at publication: blocks[b] with cum[b] (raw weight mass before
+	// block b; cum[len] equals total) for the two-level token search,
+	// and offs[b] (flat segment index of the block's first job) for the
+	// conditioned draw's eligibility mask. states[b][j] and shards[b][j]
+	// are blocks[b].Jobs[j]'s counter block and lock stripe, resolved
+	// per block so the per-pop path does no hashing and no map lookups
+	// outside the queue itself — and reused pointer-identical from the
+	// previous epoch for every block a delta recompile structurally
+	// shared, which keeps steady-state publication O(churn + scopes)
+	// rather than O(jobs).
+	blocks []*token.Block
+	cum    []float64
+	offs   []int
+	total  float64
+	n      int
+	states [][]*jobState
+	shards [][]*shard
 }
 
 // Themis is the statistical-token scheduler. It implements
@@ -101,12 +121,23 @@ type Themis struct {
 	pol    policy.Policy
 	jobs   []policy.JobInfo
 
-	epoch    atomic.Pointer[epoch]
-	strict   atomic.Bool
-	draws    drawSeq
-	pending  atomic.Int64
-	wasted   atomic.Int64
-	compiles atomic.Int64
+	epoch   atomic.Pointer[epoch]
+	strict  atomic.Bool
+	draws   drawSeq
+	pending atomic.Int64
+	wasted  atomic.Int64
+	// compilesFull counts from-scratch policy compilations (SetJobs,
+	// SetPolicy, and ApplyDelta fallbacks); compilesDelta counts
+	// incremental recompiles that patched the previous epoch's share
+	// tree. Compiles() reports their sum.
+	compilesFull  atomic.Int64
+	compilesDelta atomic.Int64
+
+	// dirtyMu guards dirtyJobs, the list of jobs whose bytes counter
+	// moved since the last ServedBytesDelta drain (each appears once,
+	// gated by jobState.dirty).
+	dirtyMu   sync.Mutex
+	dirtyJobs []string
 
 	// drawObs, when set, is called with the wall-clock duration of every
 	// Pop that hands out a request — the operator endpoint's draw-latency
@@ -220,19 +251,83 @@ func (t *Themis) republishLocked() {
 		// weights zero); keep the previous epoch rather than stall.
 		return
 	}
-	segs := c.Assignment.Segments
-	states := make([]*jobState, len(segs))
-	shards := make([]*shard, len(segs))
-	for i := range segs {
-		states[i] = t.state(segs[i].Job)
-		shards[i] = &t.shards[shardIdx(segs[i].Job)]
+	t.publishCompiledLocked(c)
+	t.compilesFull.Add(1)
+}
+
+// ApplyDelta installs the job set like SetJobs but compiles it
+// incrementally: the previous epoch's share tree is patched with the
+// delta (O(churn) instead of O(jobs)). Any condition the delta path
+// cannot prove correct — no prior epoch, a policy change since it was
+// compiled, a recompile error, or a job-count mismatch between the
+// patched tree and the authoritative slice — falls back to a full
+// compile, so ApplyDelta is always safe to call with a best-effort
+// delta. Epoch publication stays a single atomic pointer swap.
+func (t *Themis) ApplyDelta(jobs []policy.JobInfo, d policy.Delta) {
+	t.confMu.Lock()
+	defer t.confMu.Unlock()
+	t.jobs = append(t.jobs[:0], jobs...)
+	e := t.epoch.Load()
+	if e == nil || e.compiled == nil || !e.compiled.Policy.Equal(t.pol) {
+		t.republishLocked()
+		return
 	}
-	seq := uint64(1)
-	if e := t.epoch.Load(); e != nil {
-		seq = e.seq + 1
+	c, err := policy.Recompile(e.compiled, d)
+	if err != nil || c.JobCount() != len(jobs) {
+		t.republishLocked()
+		return
 	}
-	t.epoch.Store(&epoch{seq: seq, compiled: c, states: states, shards: shards})
-	t.compiles.Add(1)
+	t.publishCompiledLocked(c)
+	t.compilesDelta.Add(1)
+}
+
+// publishCompiledLocked derives the new epoch's draw tables from the
+// compiled assignment's scope blocks and swaps it in. Blocks carried
+// over unchanged from the previous epoch (a delta recompile shares
+// them pointer-identical) reuse their resolved state and stripe
+// arrays, so only churned scopes pay the per-job resolution.
+func (t *Themis) publishCompiledLocked(c *policy.Compiled) {
+	blocks := c.Assignment.Blocks()
+	prev := t.epoch.Load()
+	var prevIdx map[*token.Block]int
+	if prev != nil && len(prev.blocks) > 0 {
+		prevIdx = make(map[*token.Block]int, len(prev.blocks))
+		for i, b := range prev.blocks {
+			prevIdx[b] = i
+		}
+	}
+	e := &epoch{
+		seq:      1,
+		compiled: c,
+		blocks:   blocks,
+		cum:      make([]float64, len(blocks)+1),
+		offs:     make([]int, len(blocks)+1),
+		total:    c.Assignment.Total(),
+		n:        c.Assignment.Len(),
+		states:   make([][]*jobState, len(blocks)),
+		shards:   make([][]*shard, len(blocks)),
+	}
+	if prev != nil {
+		e.seq = prev.seq + 1
+	}
+	for bi, b := range blocks {
+		e.cum[bi+1] = e.cum[bi] + b.Sum
+		e.offs[bi+1] = e.offs[bi] + len(b.Jobs)
+		if pi, ok := prevIdx[b]; ok {
+			e.states[bi] = prev.states[pi]
+			e.shards[bi] = prev.shards[pi]
+			continue
+		}
+		sts := make([]*jobState, len(b.Jobs))
+		shs := make([]*shard, len(b.Jobs))
+		for j, job := range b.Jobs {
+			sts[j] = t.state(job)
+			shs[j] = &t.shards[shardIdx(job)]
+		}
+		e.states[bi] = sts
+		e.shards[bi] = shs
+	}
+	t.epoch.Store(e)
 }
 
 // state returns the job's counter block, creating it on first sight and
@@ -255,10 +350,16 @@ func (t *Themis) state(job string) *jobState {
 }
 
 // Compiles returns the number of policy compilations performed since
-// creation. The request path never compiles, so this grows O(job-set
-// changes + λ ticks), not O(requests) — asserted by the server's
-// regression test.
-func (t *Themis) Compiles() int64 { return t.compiles.Load() }
+// creation — full and delta combined. The request path never compiles,
+// so this grows O(job-set changes + λ ticks), not O(requests) —
+// asserted by the server's regression test.
+func (t *Themis) Compiles() int64 { return t.compilesFull.Load() + t.compilesDelta.Load() }
+
+// CompilesFull returns the number of from-scratch compilations.
+func (t *Themis) CompilesFull() int64 { return t.compilesFull.Load() }
+
+// CompilesDelta returns the number of incremental delta recompiles.
+func (t *Themis) CompilesDelta() int64 { return t.compilesDelta.Load() }
 
 // EpochSeq returns the current epoch's sequence number (0 before the
 // first SetJobs).
@@ -316,6 +417,11 @@ func (t *Themis) popFromResolved(job string, st *jobState, sh *shard, allow sche
 	if r != nil {
 		st.served.Add(1)
 		st.bytes.Add(r.Cost())
+		if !st.dirty.Load() && st.dirty.CompareAndSwap(false, true) {
+			t.dirtyMu.Lock()
+			t.dirtyJobs = append(t.dirtyJobs, job)
+			t.dirtyMu.Unlock()
+		}
 		t.pending.Add(-1)
 	}
 	return r
@@ -351,12 +457,11 @@ func (t *Themis) Pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 // uninstrumented path).
 func (t *Themis) pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 	e := t.epoch.Load()
-	if e != nil && len(e.compiled.Assignment.Segments) > 0 {
-		segs := e.compiled.Assignment.Segments
+	if e != nil && e.n > 0 {
 		if t.strict.Load() {
 			// Ablation mode: unconditioned draw; a miss wastes the cycle.
-			if i := segIdx(segs, t.draws.next()); i >= 0 {
-				if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], allow); r != nil {
+			if b, j := e.segIdx(t.draws.next()); b >= 0 {
+				if r := t.popFromResolved(e.blocks[b].Jobs[j], e.states[b][j], e.shards[b][j], allow); r != nil {
 					return r
 				}
 			}
@@ -367,11 +472,12 @@ func (t *Themis) pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 		// it has work, and falling back to a fully conditioned redraw when
 		// it does not, yields exactly the conditioned distribution —
 		// P(serve j) = w_j + (1-E)·w_j/E = w_j/E over eligible mass E —
-		// while making the saturated hot path O(log jobs): one draw, one
-		// segment lookup, one counter load, one shard lock.
+		// while making the saturated hot path O(log jobs): one draw, two
+		// binary searches (block, then segment within it), one counter
+		// load, one shard lock.
 		if allow == nil {
-			if i := segIdx(segs, t.draws.next()); i >= 0 && e.states[i].backlogged() {
-				if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], nil); r != nil {
+			if b, j := e.segIdx(t.draws.next()); b >= 0 && e.states[b][j].backlogged() {
+				if r := t.popFromResolved(e.blocks[b].Jobs[j], e.states[b][j], e.shards[b][j], nil); r != nil {
 					return r
 				}
 			}
@@ -391,81 +497,111 @@ func (t *Themis) pop(now time.Duration, allow sched.AllowFunc) *sched.Request {
 // precise per-shard peeks, which the single-threaded simulator pays only
 // as uncontended locks.
 func (t *Themis) popCompiled(e *epoch, allow sched.AllowFunc) *sched.Request {
-	segs := e.compiled.Assignment.Segments
 	var buf [64]bool
 	var elig []bool
-	if len(segs) <= len(buf) {
-		elig = buf[:len(segs)]
+	if e.n <= len(buf) {
+		elig = buf[:e.n]
 	} else {
-		elig = make([]bool, len(segs))
+		elig = make([]bool, e.n)
 	}
+	// Eligible mass accumulates in raw weight space — conditioning on it
+	// is identical to normalised segment widths (both divide out at the
+	// draw), without a per-segment division.
 	total := 0.0
 	n := 0
-	for i := range segs {
-		ok := false
-		if allow == nil {
-			ok = e.states[i].backlogged()
-		} else {
-			ok = t.peek(segs[i].Job, allow)
-		}
-		if ok {
-			elig[i] = true
-			total += segs[i].Width()
-			n++
+	for bi, blk := range e.blocks {
+		base := e.offs[bi]
+		for j := range blk.Jobs {
+			ok := false
+			if allow == nil {
+				ok = e.states[bi][j].backlogged()
+			} else {
+				ok = t.peek(blk.Jobs[j], allow)
+			}
+			if ok {
+				elig[base+j] = true
+				total += blk.Ws[j]
+				n++
+			}
 		}
 	}
 	for ; n > 0; n-- {
-		i := pickIdx(segs, elig, total, t.draws.next())
-		if i < 0 {
+		b, j := e.pickIdx(elig, total, t.draws.next())
+		if b < 0 {
 			return nil
 		}
-		if r := t.popFromResolved(segs[i].Job, e.states[i], e.shards[i], allow); r != nil {
+		if r := t.popFromResolved(e.blocks[b].Jobs[j], e.states[b][j], e.shards[b][j], allow); r != nil {
 			return r
 		}
 		// A concurrent worker drained the job between peek and pop:
 		// recondition without it and redraw.
-		elig[i] = false
-		total -= segs[i].Width()
+		elig[e.offs[b]+j] = false
+		total -= e.blocks[b].Ws[j]
 	}
 	return nil
 }
 
-// segIdx returns the index of the segment containing draw x ∈ [0,1)
-// over the full (unconditioned) assignment, -1 on an empty assignment.
-func segIdx(segs []token.Segment, x float64) int {
-	i := sort.Search(len(segs), func(i int) bool { return segs[i].Hi > x })
-	if i >= len(segs) {
-		i = len(segs) - 1
+// segIdx returns the block/segment coordinates containing draw
+// x ∈ [0,1) over the full (unconditioned) assignment: the draw is
+// scaled into raw weight space, binary-searched over the block prefix
+// masses, then over the chosen block's prefix sums. Returns (-1, -1)
+// on an empty assignment.
+func (e *epoch) segIdx(x float64) (int, int) {
+	if e.n == 0 {
+		return -1, -1
 	}
-	return i
+	xm := x * e.total
+	nb := len(e.blocks)
+	b := sort.Search(nb, func(i int) bool { return e.cum[i+1] > xm })
+	if b >= nb {
+		b = nb - 1
+	}
+	blk := e.blocks[b]
+	if len(blk.Jobs) == 0 {
+		return -1, -1
+	}
+	r := xm - e.cum[b]
+	j := sort.Search(len(blk.Cum), func(i int) bool { return blk.Cum[i] > r })
+	if j >= len(blk.Jobs) {
+		j = len(blk.Jobs) - 1
+	}
+	return b, j
 }
 
-// pickIdx returns the index of the segment containing draw x conditioned
-// on the eligible set, or the first eligible segment when the eligible
-// mass is zero (zero-share jobs — e.g. just-arrived jobs the controller
-// has not weighted yet — are served from leftover cycles, mirroring
-// token.Assignment.PickEligible). Returns -1 if nothing is eligible.
-func pickIdx(segs []token.Segment, elig []bool, total, x float64) int {
+// pickIdx returns the coordinates of the segment containing draw x
+// conditioned on the eligible set (total is the eligible raw mass), or
+// the first eligible segment when the eligible mass is zero
+// (zero-share jobs — e.g. just-arrived jobs the controller has not
+// weighted yet — are served from leftover cycles, mirroring
+// token.Assignment.PickEligible). Returns (-1, -1) if nothing is
+// eligible.
+func (e *epoch) pickIdx(elig []bool, total, x float64) (int, int) {
 	if total > 0 {
 		x *= total
 		acc := 0.0
-		for i := range segs {
-			if !elig[i] {
-				continue
-			}
-			acc += segs[i].Width()
-			if x < acc {
-				return i
+		for bi, blk := range e.blocks {
+			base := e.offs[bi]
+			for j := range blk.Jobs {
+				if !elig[base+j] {
+					continue
+				}
+				acc += blk.Ws[j]
+				if x < acc {
+					return bi, j
+				}
 			}
 		}
 	}
 	// Zero eligible mass, or floating-point residue: first eligible.
-	for i := range segs {
-		if elig[i] {
-			return i
+	for bi, blk := range e.blocks {
+		base := e.offs[bi]
+		for j := range blk.Jobs {
+			if elig[base+j] {
+				return bi, j
+			}
 		}
 	}
-	return -1
+	return -1, -1
 }
 
 // popAny serves the first-seen eligible job's oldest request — the
@@ -577,6 +713,31 @@ func (t *Themis) ServedBytes() map[string]int64 {
 	return out
 }
 
+// ServedBytesDelta drains the per-job serviced-byte deltas accumulated
+// since the previous drain — touching only the jobs whose counters
+// actually moved, so a λ roll at 100k known jobs with 1k active costs
+// O(1k). Single consumer (the controller); a charge racing the drain is
+// never lost: the dirty flag is cleared before the counter is read, so
+// a concurrent charge either lands in this window's read or re-marks
+// the job for the next one.
+func (t *Themis) ServedBytesDelta() map[string]int64 {
+	t.dirtyMu.Lock()
+	jobs := t.dirtyJobs
+	t.dirtyJobs = nil
+	t.dirtyMu.Unlock()
+	out := make(map[string]int64, len(jobs))
+	for _, job := range jobs {
+		st := t.state(job)
+		st.dirty.Store(false)
+		cum := st.bytes.Load()
+		if d := cum - st.lastReported; d != 0 {
+			out[job] = d
+			st.lastReported = cum
+		}
+	}
+	return out
+}
+
 // Served returns the number of requests served per job since creation.
 func (t *Themis) Served() map[string]int64 {
 	out := make(map[string]int64)
@@ -589,13 +750,15 @@ func (t *Themis) Served() map[string]int64 {
 	return out
 }
 
-// Share returns the current token share of a job (0 if absent).
+// Share returns the current token share of a job (0 if absent). It
+// reads the compiled share tree, which stays correct on delta-compiled
+// epochs (whose assignments skip the job→segment index).
 func (t *Themis) Share(job string) float64 {
 	e := t.epoch.Load()
 	if e == nil {
 		return 0
 	}
-	return e.compiled.Assignment.Share(job)
+	return e.compiled.Share(job)
 }
 
 // String summarizes the scheduler state for debugging.

@@ -162,7 +162,7 @@ func TestAssignmentAndString(t *testing.T) {
 	}
 	th.SetJobs(jobs("a", "b"))
 	a := th.Assignment()
-	if a == nil || len(a.Segments) != 2 {
+	if a == nil || len(a.Segments()) != 2 {
 		t.Fatalf("assignment = %+v", a)
 	}
 	if th.String() == "" || th.PendingOf("a") != 0 {

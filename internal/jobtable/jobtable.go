@@ -16,6 +16,7 @@
 package jobtable
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,10 @@ import (
 
 	"themisio/internal/policy"
 )
+
+// Delta is the job-set change between two published generations, in the
+// form the policy compiler's incremental entry point consumes.
+type Delta = policy.Delta
 
 // Status of a job as seen by one server.
 type Status int
@@ -76,6 +81,20 @@ type ActiveSet struct {
 	Jobs []policy.JobInfo
 }
 
+// Lookup returns the snapshot's info for the job, resolved by binary
+// search over the sorted Jobs slice — the ledger's lazy materialiser,
+// so a λ roll never walks the full set.
+func (s *ActiveSet) Lookup(job string) (policy.JobInfo, bool) {
+	if s == nil {
+		return policy.JobInfo{}, false
+	}
+	i := sort.Search(len(s.Jobs), func(i int) bool { return s.Jobs[i].JobID >= job })
+	if i < len(s.Jobs) && s.Jobs[i].JobID == job {
+		return s.Jobs[i], true
+	}
+	return policy.JobInfo{}, false
+}
+
 // Table is a thread-safe job status table. Time is expressed as
 // time.Duration offsets from an arbitrary epoch so the table works
 // identically under the discrete-event simulator's virtual clock and the
@@ -92,7 +111,31 @@ type Table struct {
 	// so a controller can gate recompilation on Generation() alone.
 	gen    atomic.Uint64
 	active atomic.Pointer[ActiveSet]
+
+	// pending/dirty accumulate the job ids touched since the last
+	// publish so a republish patches the snapshot incrementally
+	// (O(pending·log n) merge against the published slice) instead of
+	// re-sorting all entries; minLast conservatively lower-bounds the
+	// heartbeat of any published job, so an idle Refresh proves "no
+	// decay possible" in O(1) and returns the cached snapshot. deltas
+	// is a ring of the last published generation transitions, serving
+	// DeltaSince for the scheduler's incremental recompile.
+	pending map[string]struct{}
+	dirty   bool
+	minLast time.Duration
+	deltas  []genDelta
 }
+
+// genDelta records the change that produced generation gen from gen-1.
+type genDelta struct {
+	gen uint64
+	d   Delta
+}
+
+// deltaRing bounds the generations DeltaSince can bridge; a consumer
+// further behind gets (Delta, false) and full-compiles. The controller
+// reads every λ, so 8 generations of slack is plenty.
+const deltaRing = 8
 
 // DefaultTimeout is the heartbeat expiry used when none is configured;
 // the paper uses "a predefined period of time", and production heartbeat
@@ -105,7 +148,13 @@ func New(owner string, timeout time.Duration) *Table {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	t := &Table{owner: owner, entries: make(map[string]*Entry), timeout: timeout}
+	t := &Table{
+		owner:   owner,
+		entries: make(map[string]*Entry),
+		timeout: timeout,
+		pending: make(map[string]struct{}),
+		minLast: time.Duration(math.MaxInt64),
+	}
 	t.active.Store(&ActiveSet{})
 	return t
 }
@@ -125,6 +174,7 @@ func (t *Table) Heartbeat(info policy.JobInfo, now time.Duration) bool {
 	defer t.mu.Unlock()
 	changed := t.touch(info, now, false)
 	if changed {
+		t.notePendingLocked(info.JobID, now)
 		t.republishLocked(now)
 	}
 	return changed
@@ -140,9 +190,22 @@ func (t *Table) Observe(info policy.JobInfo, now time.Duration) bool {
 	changed := t.touch(info, now, true)
 	t.entries[info.JobID].Demand++
 	if changed {
+		t.notePendingLocked(info.JobID, now)
 		t.republishLocked(now)
 	}
 	return changed
+}
+
+// notePendingLocked marks the job id as touched since the last publish
+// and folds its heartbeat into the conservative minLast bound (only
+// active entries matter: an inactive one is not in the published set,
+// so it cannot decay out of it).
+func (t *Table) notePendingLocked(id string, now time.Duration) {
+	t.pending[id] = struct{}{}
+	t.dirty = true
+	if e, ok := t.entries[id]; ok && now-e.Last <= t.timeout && e.Last < t.minLast {
+		t.minLast = e.Last
+	}
 }
 
 // touch implements Heartbeat/Observe under t.mu.
@@ -184,7 +247,15 @@ func (t *Table) Active(now time.Duration) []policy.JobInfo {
 
 // activeLocked computes the active job list under t.mu (either mode).
 func (t *Table) activeLocked(now time.Duration) []policy.JobInfo {
+	jobs, _ := t.activeAndMinLocked(now)
+	return jobs
+}
+
+// activeAndMinLocked is the full O(n log n) rebuild, also returning the
+// exact minimum heartbeat among active entries (MaxInt64 if none).
+func (t *Table) activeAndMinLocked(now time.Duration) ([]policy.JobInfo, time.Duration) {
 	var out []policy.JobInfo
+	min := time.Duration(math.MaxInt64)
 	for _, e := range t.entries {
 		if now-e.Last <= t.timeout {
 			info := e.Info
@@ -193,34 +264,121 @@ func (t *Table) activeLocked(now time.Duration) []policy.JobInfo {
 				info.Presence = 1
 			}
 			out = append(out, info)
+			if e.Last < min {
+				min = e.Last
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
-	return out
+	return out, min
 }
 
-// republishLocked recomputes the active set as of now and publishes a new
-// snapshot — bumping the generation — only if it differs from the current
-// one. Callers hold t.mu for writing.
-func (t *Table) republishLocked(now time.Duration) {
-	jobs := t.activeLocked(now)
+// republishLocked folds the accumulated pending edits into a new
+// snapshot — bumping the generation and recording the delta — only if
+// the published set really changes. When minLast proves no published
+// job can have decayed, the new sorted slice is produced by a single
+// merge of the pending ids against the current snapshot (O(pending·
+// log n + n) with no map walk and no sort); otherwise — decay possible,
+// or bootstrap — it falls back to the full rebuild and diffs the two
+// sorted slices. Callers hold t.mu for writing.
+func (t *Table) republishLocked(now time.Duration) uint64 {
 	cur := t.active.Load()
-	if cur != nil && equalJobs(cur.Jobs, jobs) {
-		return
+	var jobs []policy.JobInfo
+	var d Delta
+	if now-t.minLast <= t.timeout {
+		jobs, d = t.applyPendingLocked(cur.Jobs, now)
+	} else {
+		jobs, t.minLast = t.activeAndMinLocked(now)
+		d = diffJobs(cur.Jobs, jobs)
 	}
-	t.active.Store(&ActiveSet{Gen: t.gen.Add(1), Jobs: jobs})
+	t.dirty = false
+	clear(t.pending)
+	if d.Empty() {
+		return cur.Gen
+	}
+	gen := t.gen.Add(1)
+	t.active.Store(&ActiveSet{Gen: gen, Jobs: jobs})
+	if len(t.deltas) == deltaRing {
+		copy(t.deltas, t.deltas[1:])
+		t.deltas = t.deltas[:deltaRing-1]
+	}
+	t.deltas = append(t.deltas, genDelta{gen: gen, d: d})
+	return gen
 }
 
-func equalJobs(a, b []policy.JobInfo) bool {
-	if len(a) != len(b) {
-		return false
+// applyPendingLocked merges the pending job ids into the published
+// sorted slice, producing the next snapshot and its delta. Only valid
+// when no non-pending member can have decayed (minLast-guarded by the
+// caller).
+func (t *Table) applyPendingLocked(curJobs []policy.JobInfo, now time.Duration) ([]policy.JobInfo, Delta) {
+	ids := make([]string, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	sort.Strings(ids)
+	out := make([]policy.JobInfo, 0, len(curJobs)+len(ids))
+	var d Delta
+	i := 0
+	for _, id := range ids {
+		for i < len(curJobs) && curJobs[i].JobID < id {
+			out = append(out, curJobs[i])
+			i++
+		}
+		var old policy.JobInfo
+		had := i < len(curJobs) && curJobs[i].JobID == id
+		if had {
+			old = curJobs[i]
+			i++
+		}
+		e, ok := t.entries[id]
+		if ok && now-e.Last <= t.timeout {
+			in := e.Info
+			in.Presence = len(e.Servers)
+			if in.Presence < 1 {
+				in.Presence = 1
+			}
+			out = append(out, in)
+			switch {
+			case !had:
+				d.Added = append(d.Added, in)
+			case in != old:
+				d.Updated = append(d.Updated, in)
+			}
+		} else if had {
+			d.Removed = append(d.Removed, id)
 		}
 	}
-	return true
+	out = append(out, curJobs[i:]...)
+	return out, d
+}
+
+// diffJobs computes the delta between two sorted job slices.
+func diffJobs(old, new []policy.JobInfo) Delta {
+	var d Delta
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		switch {
+		case old[i].JobID == new[j].JobID:
+			if old[i] != new[j] {
+				d.Updated = append(d.Updated, new[j])
+			}
+			i++
+			j++
+		case old[i].JobID < new[j].JobID:
+			d.Removed = append(d.Removed, old[i].JobID)
+			i++
+		default:
+			d.Added = append(d.Added, new[j])
+			j++
+		}
+	}
+	for ; i < len(old); i++ {
+		d.Removed = append(d.Removed, old[i].JobID)
+	}
+	for ; j < len(new); j++ {
+		d.Added = append(d.Added, new[j])
+	}
+	return d
 }
 
 // Generation returns the published snapshot's generation without taking
@@ -238,11 +396,102 @@ func (t *Table) ActiveSnapshot() *ActiveSet { return t.active.Load() }
 // current generation. The controller calls this once per λ; activeness
 // is a function of time, so pure decay is otherwise invisible to the
 // write-triggered republishes.
+//
+// The idle pass is O(1): with no pending edits and minLast proving no
+// published job can have aged out, Refresh returns the cached
+// snapshot's generation without allocating or walking the entries.
 func (t *Table) Refresh(now time.Duration) uint64 {
 	t.mu.Lock()
-	t.republishLocked(now)
-	t.mu.Unlock()
-	return t.gen.Load()
+	defer t.mu.Unlock()
+	if !t.dirty && now-t.minLast <= t.timeout {
+		return t.active.Load().Gen
+	}
+	return t.republishLocked(now)
+}
+
+// DeltaSince returns the squashed job-set change from generation g to
+// the current one, and whether the delta ring could bridge the gap. A
+// false return (consumer too far behind, or g from the future) means
+// the caller must fall back to a full recompile from ActiveSnapshot.
+// The returned delta aliases ring storage and must not be mutated.
+func (t *Table) DeltaSince(g uint64) (Delta, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.gen.Load()
+	if g == cur {
+		return Delta{}, true
+	}
+	if g > cur || len(t.deltas) == 0 || t.deltas[0].gen > g+1 {
+		return Delta{}, false
+	}
+	start := int(g + 1 - t.deltas[0].gen)
+	if start == len(t.deltas)-1 {
+		return t.deltas[start].d, true
+	}
+	return squashDeltas(t.deltas[start:]), true
+}
+
+// squashDeltas folds a contiguous run of generation deltas into one
+// well-formed delta (each job in at most one list): add∘remove cancels,
+// update∘add stays an add, add∘remove-then-re-add nets to an update.
+func squashDeltas(ds []genDelta) Delta {
+	const (
+		opAdded = iota
+		opUpdated
+		opRemoved
+	)
+	type state struct {
+		op   int
+		info policy.JobInfo
+	}
+	m := make(map[string]*state)
+	apply := func(id string, op int, info policy.JobInfo) {
+		s, ok := m[id]
+		if !ok {
+			m[id] = &state{op: op, info: info}
+			return
+		}
+		switch {
+		case op == opRemoved && s.op == opAdded:
+			delete(m, id) // arrived and left within the window: net nothing
+		case op == opRemoved:
+			s.op = opRemoved
+		case s.op == opAdded:
+			s.info = info // still net-new; keep the freshest attributes
+		case s.op == opRemoved:
+			s.op, s.info = opUpdated, info // left and came back: net attr change
+		default:
+			s.info = info
+		}
+	}
+	for _, gd := range ds {
+		for _, j := range gd.d.Added {
+			apply(j.JobID, opAdded, j)
+		}
+		for _, j := range gd.d.Updated {
+			apply(j.JobID, opUpdated, j)
+		}
+		for _, id := range gd.d.Removed {
+			apply(id, opRemoved, policy.JobInfo{})
+		}
+	}
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var d Delta
+	for _, id := range ids {
+		switch s := m[id]; s.op {
+		case opAdded:
+			d.Added = append(d.Added, s.info)
+		case opUpdated:
+			d.Updated = append(d.Updated, s.info)
+		default:
+			d.Removed = append(d.Removed, id)
+		}
+	}
+	return d
 }
 
 // StatusOf returns the job's status as of now and whether it is known.
@@ -273,6 +522,8 @@ func (t *Table) Expire(now, keep time.Duration) int {
 	for id, e := range t.entries {
 		if now-e.Last > keep {
 			delete(t.entries, id)
+			t.pending[id] = struct{}{}
+			t.dirty = true
 			n++
 		}
 	}
@@ -280,11 +531,15 @@ func (t *Table) Expire(now, keep time.Duration) int {
 	return n
 }
 
-// Remove deletes the job outright (client notified exit, §4.2).
+// Remove deletes the job outright (client notified exit, §4.2). The
+// published snapshot is not touched here (no clock); the id is marked
+// pending so the next Refresh folds the departure in.
 func (t *Table) Remove(jobID string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.entries, jobID)
+	t.pending[jobID] = struct{}{}
+	t.dirty = true
 }
 
 // Len returns the number of entries (active or not).
@@ -318,27 +573,32 @@ func (t *Table) Merge(snap []Entry, now time.Duration) bool {
 	for i := range snap {
 		in := &snap[i]
 		e, ok := t.entries[in.Info.JobID]
+		entryChanged := false
 		if !ok {
 			cp := in.clone()
 			t.entries[in.Info.JobID] = &cp
+			entryChanged = true
+		} else {
+			if in.Last > e.Last {
+				wasStale := now-e.Last > t.timeout
+				e.Last = in.Last
+				if wasStale && now-e.Last <= t.timeout {
+					entryChanged = true
+				}
+			}
+			for s := range in.Servers {
+				if !e.Servers[s] {
+					e.Servers[s] = true
+					entryChanged = true
+				}
+			}
+			if in.Demand > e.Demand {
+				e.Demand = in.Demand
+			}
+		}
+		if entryChanged {
+			t.notePendingLocked(in.Info.JobID, now)
 			changed = true
-			continue
-		}
-		if in.Last > e.Last {
-			wasStale := now-e.Last > t.timeout
-			e.Last = in.Last
-			if wasStale && now-e.Last <= t.timeout {
-				changed = true
-			}
-		}
-		for s := range in.Servers {
-			if !e.Servers[s] {
-				e.Servers[s] = true
-				changed = true
-			}
-		}
-		if in.Demand > e.Demand {
-			e.Demand = in.Demand
 		}
 	}
 	if changed {
@@ -358,9 +618,11 @@ func (t *Table) DropServer(server string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	changed := false
-	for _, e := range t.entries {
+	for id, e := range t.entries {
 		if e.Servers[server] {
 			delete(e.Servers, server)
+			t.pending[id] = struct{}{}
+			t.dirty = true
 			changed = true
 		}
 	}

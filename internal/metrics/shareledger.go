@@ -54,11 +54,17 @@ const DefaultShareHorizon = 8
 // ShareLedger accumulates per-λ serviced-byte windows and produces the
 // per-entity share report. Safe for concurrent use: the controller
 // rolls it on the λ tick while operator queries read the report.
+//
+// The ledger is hierarchical and lazy: each roll consumes a per-window
+// byte *delta* (the scheduler's ServedBytesDelta drain) and
+// materialises rows only for jobs that serviced bytes inside the
+// horizon, rolling them up into per-user and per-group aggregates. A λ
+// roll at 100k known entities with 1k active therefore touches 1k jobs
+// plus their entities, never the full universe.
 type ShareLedger struct {
 	mu      sync.Mutex
 	horizon int
-	prev    map[string]int64   // last cumulative counter snapshot
-	windows []map[string]int64 // per-window deltas, oldest first
+	windows []map[string]int64 // per-window serviced-byte deltas, oldest first
 	report  []ShareEntry
 	at      time.Duration
 }
@@ -72,25 +78,32 @@ func NewShareLedger(horizon int) *ShareLedger {
 	return &ShareLedger{horizon: horizon}
 }
 
-// Roll closes one λ window at time now: cum is the scheduler's
-// cumulative serviced-byte counter per job, jobs the active job set
-// (attributing jobs to users and groups), and shareOf the compiled
-// token share per job under the policy in force at the close. It
-// returns the refreshed report. A window in which nothing was serviced
+// Roll closes one λ window at time now: delta is the scheduler's
+// per-job serviced-byte delta for the window (ServedBytesDelta — only
+// jobs that actually serviced bytes appear), lookup lazily resolves a
+// job id to its active-set info (the snapshot's binary search; a miss
+// means the job departed), and shareOf the compiled token share per
+// job under the policy in force at the close. It returns the refreshed
+// report.
+//
+// Rows are materialised only for jobs with serviced bytes inside the
+// horizon; each resolves through lookup into its user and group
+// roll-up. A job that departed mid-horizon still gets a job row — so
+// measured shares keep summing to 1 — but no user/group attribution:
+// its metadata left with it. A window in which nothing was serviced
 // leaves the previous report standing — an idle λ carries no fairness
 // evidence either way.
-func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []policy.JobInfo, shareOf func(job string) float64) []ShareEntry {
+func (l *ShareLedger) Roll(now time.Duration, delta map[string]int64, lookup func(job string) (policy.JobInfo, bool), shareOf func(job string) float64) []ShareEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
-	delta := make(map[string]int64)
-	for job, n := range cum {
-		if d := n - l.prev[job]; d > 0 {
-			delta[job] = d
+	w := make(map[string]int64, len(delta))
+	for job, d := range delta {
+		if d > 0 {
+			w[job] = d
 		}
 	}
-	l.prev = cum
-	l.windows = append(l.windows, delta)
+	l.windows = append(l.windows, w)
 	if len(l.windows) > l.horizon {
 		l.windows = l.windows[len(l.windows)-l.horizon:]
 	}
@@ -113,8 +126,7 @@ func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []polic
 	}
 	users := map[string]*agg{}
 	groups := map[string]*agg{}
-	known := map[string]bool{}
-	var out []ShareEntry
+	out := make([]ShareEntry, 0, len(bytes))
 	add := func(m map[string]*agg, key string, compiled float64, b int64) {
 		a, ok := m[key]
 		if !ok {
@@ -124,27 +136,15 @@ func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []polic
 		a.compiled += compiled
 		a.bytes += b
 	}
-	for _, j := range jobs {
-		known[j.JobID] = true
-		c := shareOf(j.JobID)
-		b := bytes[j.JobID]
+	for job, b := range bytes {
+		c := shareOf(job)
 		out = append(out, ShareEntry{
-			Kind: "job", ID: j.JobID,
+			Kind: "job", ID: job,
 			Compiled: c, Measured: float64(b) / float64(total), Bytes: b,
 		})
-		add(users, j.UserID, c, b)
-		add(groups, j.GroupID, c, b)
-	}
-	// Jobs with serviced bytes in the horizon but no longer in the
-	// active set (departed mid-horizon): report them as job rows so the
-	// measured shares still sum to 1, but without user/group attribution
-	// — their metadata left with them.
-	for job, b := range bytes {
-		if !known[job] {
-			out = append(out, ShareEntry{
-				Kind: "job", ID: job,
-				Compiled: shareOf(job), Measured: float64(b) / float64(total), Bytes: b,
-			})
+		if j, ok := lookup(job); ok {
+			add(users, j.UserID, c, b)
+			add(groups, j.GroupID, c, b)
 		}
 	}
 	emit := func(kind string, m map[string]*agg) {
@@ -157,7 +157,6 @@ func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []polic
 	}
 	emit("user", users)
 	emit("group", groups)
-	kindRank := map[string]int{"job": 0, "user": 1, "group": 2}
 	sort.Slice(out, func(i, k int) bool {
 		if out[i].Kind != out[k].Kind {
 			return kindRank[out[i].Kind] < kindRank[out[k].Kind]
@@ -169,12 +168,53 @@ func (l *ShareLedger) Roll(now time.Duration, cum map[string]int64, jobs []polic
 	return append([]ShareEntry(nil), out...)
 }
 
+// kindRank orders report rows job < user < group.
+var kindRank = map[string]int{"job": 0, "user": 1, "group": 2}
+
 // Report returns the latest per-entity report (nil before the first
 // non-idle window).
 func (l *ShareLedger) Report() []ShareEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]ShareEntry(nil), l.report...)
+}
+
+// ReportTop returns the report's worst offenders: entities of the
+// given kind ("" or "all" means every kind) ordered by |residual|
+// descending — ties broken by kind then ID for determinism — truncated
+// to n rows. n <= 0 disables truncation. This is what pages the
+// `themisctl policy status` view at 100k entities instead of shipping
+// the world over the wire.
+func (l *ShareLedger) ReportTop(n int, kind string) []ShareEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]ShareEntry, 0, len(l.report))
+	for _, e := range l.report {
+		if kind != "" && kind != "all" && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		ri, rk := out[i].Residual(), out[k].Residual()
+		if ri < 0 {
+			ri = -ri
+		}
+		if rk < 0 {
+			rk = -rk
+		}
+		if ri != rk {
+			return ri > rk
+		}
+		if out[i].Kind != out[k].Kind {
+			return kindRank[out[i].Kind] < kindRank[out[k].Kind]
+		}
+		return out[i].ID < out[k].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // ReportAt returns the virtual/wall time offset of the last window

@@ -244,29 +244,93 @@ func (j JobInfo) scopeKey(l Level) string {
 }
 
 // Compiled is the result of compiling a policy against a set of active
-// jobs: the transition-matrix chain (for inspection and testing) and the
-// resulting segment assignment.
+// jobs: the segment assignment plus the share tree it was derived from.
+// The transition-matrix chain the paper defines is no longer built
+// eagerly — at 100k jobs the U×J chain product is prohibitive and the
+// tree walk computes the identical values — but remains available for
+// inspection and testing via Matrices.
 type Compiled struct {
 	Policy     Policy
-	Chain      []*token.Matrix
-	Product    *token.Matrix
 	Assignment *token.Assignment
+	tree       *shareTree
 }
 
-// scope is an internal node of the sharing tree during compilation.
+// Share returns the job's compiled token share, 0 if absent. Lookups
+// resolve through the share tree, so they work identically for full
+// and delta compiles (the latter skip the assignment's index map).
+func (c *Compiled) Share(job string) float64 {
+	if c == nil || c.tree == nil {
+		return 0
+	}
+	return c.tree.share(job)
+}
+
+// JobCount returns the number of jobs in the compiled share tree.
+func (c *Compiled) JobCount() int {
+	if c == nil || c.tree == nil {
+		return 0
+	}
+	c.tree.mu.RLock()
+	defer c.tree.mu.RUnlock()
+	return len(c.tree.index)
+}
+
+// Matrices materialises Equation 1's transition-matrix chain and its
+// product for the compiled job set — the inspection/testing view the
+// eager compiler used to carry. Returns nils for FIFO or an empty set.
+func (c *Compiled) Matrices() ([]*token.Matrix, *token.Matrix, error) {
+	if c == nil || c.tree == nil {
+		return nil, nil, nil
+	}
+	c.tree.mu.RLock()
+	jobs := make([]JobInfo, 0, len(c.tree.index))
+	for _, lf := range c.tree.index {
+		jobs = append(jobs, lf.info)
+	}
+	c.tree.mu.RUnlock()
+	if len(jobs) == 0 {
+		return nil, nil, nil
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].JobID < jobs[k].JobID })
+	scopes := []scope{{key: "root", jobs: jobs}}
+	var chain []*token.Matrix
+	for li, level := range c.Policy.Levels {
+		last := li == len(c.Policy.Levels)-1
+		var m *token.Matrix
+		var next []scope
+		if last {
+			m, next = terminalMatrix(scopes, level)
+		} else {
+			m, next = partitionMatrix(scopes, level)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("policy: level %d (%s): %w", li, level, err)
+		}
+		chain = append(chain, m)
+		scopes = next
+	}
+	prod, err := token.ChainProduct(chain)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chain, prod, nil
+}
+
+// scope is an internal node of the sharing tree during matrix
+// materialisation.
 type scope struct {
 	key  string
 	jobs []JobInfo
 }
 
-// Compile builds the transition-matrix chain for the policy over the given
-// jobs and evaluates Equation 1 of the paper, producing the statistical
-// token assignment. Jobs are sorted by JobID for deterministic segment
-// layout. Compiling a FIFO policy or an empty job set returns an
-// assignment with no segments.
+// Compile evaluates Equation 1 of the paper for the policy over the
+// given jobs, producing the statistical token assignment. Jobs are
+// sorted by JobID for deterministic segment layout. Compiling a FIFO
+// policy or an empty job set returns an assignment with no segments.
+// The result carries the share tree Recompile patches incrementally.
 func Compile(jobs []JobInfo, p Policy) (*Compiled, error) {
 	c := &Compiled{Policy: p}
-	if p.FIFO || len(jobs) == 0 {
+	if p.FIFO {
 		a, err := token.FromWeights(nil, nil)
 		if err != nil {
 			return nil, err
@@ -277,36 +341,18 @@ func Compile(jobs []JobInfo, p Policy) (*Compiled, error) {
 	sorted := make([]JobInfo, len(jobs))
 	copy(sorted, jobs)
 	sort.Slice(sorted, func(i, k int) bool { return sorted[i].JobID < sorted[k].JobID })
-
-	scopes := []scope{{key: "root", jobs: sorted}}
-	for li, level := range p.Levels {
-		last := li == len(p.Levels)-1
-		var m *token.Matrix
-		var next []scope
-		if last {
-			m, next = terminalMatrix(scopes, level)
-		} else {
-			m, next = partitionMatrix(scopes, level)
-		}
-		if err := m.Validate(); err != nil {
-			return nil, fmt.Errorf("policy: level %d (%s): %w", li, level, err)
-		}
-		c.Chain = append(c.Chain, m)
-		scopes = next
+	tr := newShareTree(p)
+	for _, j := range sorted {
+		tr.insertLocked(j)
 	}
-	prod, err := token.ChainProduct(c.Chain)
-	if err != nil {
-		return nil, err
-	}
-	c.Product = prod
-	a, err := token.FromRowVector(prod)
+	a, err := tr.assignmentLocked(true)
 	if err != nil {
 		return nil, err
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	c.Assignment = a
+	c.Assignment, c.tree = a, tr
 	return c, nil
 }
 
@@ -392,7 +438,7 @@ func Shares(jobs []JobInfo, p Policy) (map[string]float64, error) {
 	}
 	out := make(map[string]float64, len(jobs))
 	for _, j := range jobs {
-		out[j.JobID] = c.Assignment.Share(j.JobID)
+		out[j.JobID] = c.Share(j.JobID)
 	}
 	return out, nil
 }

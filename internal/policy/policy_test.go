@@ -230,11 +230,11 @@ func TestCompilePresenceDeweighting(t *testing.T) {
 
 func TestCompileFIFOAndEmpty(t *testing.T) {
 	c, err := Compile(nil, SizeFair)
-	if err != nil || len(c.Assignment.Segments) != 0 {
+	if err != nil || len(c.Assignment.Segments()) != 0 {
 		t.Fatalf("empty job set: %v %v", c, err)
 	}
 	c, err = Compile([]JobInfo{j("a", "u", "g", 1)}, FIFO)
-	if err != nil || len(c.Assignment.Segments) != 0 {
+	if err != nil || len(c.Assignment.Segments()) != 0 {
 		t.Fatalf("FIFO policy: %v %v", c, err)
 	}
 }
@@ -265,7 +265,11 @@ func TestCompileChainInvariantsProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			for _, m := range c.Chain {
+			chain, _, merr := c.Matrices()
+			if merr != nil {
+				return false
+			}
+			for _, m := range chain {
 				if m.Validate() != nil {
 					return false
 				}
@@ -274,7 +278,7 @@ func TestCompileChainInvariantsProperty(t *testing.T) {
 				return false
 			}
 			total := 0.0
-			for _, s := range c.Assignment.Segments {
+			for _, s := range c.Assignment.Segments() {
 				total += s.Width()
 			}
 			if math.Abs(total-1) > 1e-9 {

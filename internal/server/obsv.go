@@ -45,6 +45,12 @@ func newServerMetrics(reg *obsv.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("themis_sched_policy_compiles_total",
 		"Policy compilations (grows with job-set changes, not requests).",
 		func() float64 { return float64(s.sched.Compiles()) })
+	reg.CounterFunc("themis_sched_compile_full_total",
+		"From-scratch policy compilations (bootstrap, policy swaps, delta fallbacks).",
+		func() float64 { return float64(s.sched.CompilesFull()) })
+	reg.CounterFunc("themis_sched_compile_delta_total",
+		"Incremental delta recompiles that patched the previous epoch's share tree.",
+		func() float64 { return float64(s.sched.CompilesDelta()) })
 	reg.GaugeFunc("themis_sched_epoch",
 		"Current compiled token-assignment epoch sequence.",
 		func() float64 { return float64(s.sched.EpochSeq()) })

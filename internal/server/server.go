@@ -442,13 +442,21 @@ func (s *Server) handleConn(c *transport.Conn) {
 			continue
 		case transport.MsgShareReport:
 			// Operator fairness query — control plane, not scheduled.
+			// The request's paging filter (top N by |residual|, kind)
+			// is applied server-side so a 100k-entity report never
+			// crosses the wire; a zero filter keeps the legacy
+			// full-report answer.
 			ap := s.applied.Load()
+			shares := s.ledger.Report()
+			if req.ShareTopN > 0 || (req.ShareKind != "" && req.ShareKind != "all") {
+				shares = s.ledger.ReportTop(req.ShareTopN, req.ShareKind)
+			}
 			resp := &transport.Response{
 				Seq:         req.Seq,
 				PolicyStr:   ap.str,
 				PolicyEpoch: ap.epoch,
 				Epoch:       s.sched.EpochSeq(),
-				Shares:      shareRecords(s.ledger.Report()),
+				Shares:      shareRecords(shares),
 			}
 			req.Release()
 			if err := s.sendResponse(c, resp); err != nil {
@@ -782,13 +790,22 @@ func (s *Server) controller() {
 		s.shard.SweepParked(parkedRetention)
 		s.applyPolicy()
 		if g := s.table.Refresh(s.now()); g != lastGen {
+			snap := s.table.ActiveSnapshot()
+			if d, ok := s.table.DeltaSince(lastGen); ok {
+				// The common case at scale: the generation moved by job
+				// churn, so patch the previous epoch's share tree in
+				// O(churn) instead of recompiling 100k jobs from scratch.
+				s.sched.ApplyDelta(snap.Jobs, d)
+			} else {
+				s.sched.SetJobs(snap.Jobs)
+			}
 			lastGen = g
-			s.sched.SetJobs(s.table.ActiveSnapshot().Jobs)
 		}
 		// Close the λ accounting window after any recompile above, so
 		// the compiled shares paired with the window are the ones now in
-		// force.
-		s.ledger.Roll(s.now(), s.sched.ServedBytes(), s.table.ActiveSnapshot().Jobs, s.sched.Share)
+		// force. The roll drains only jobs that serviced bytes this
+		// window and materialises their entities lazily off the snapshot.
+		s.ledger.Roll(s.now(), s.sched.ServedBytesDelta(), s.table.ActiveSnapshot().Lookup, s.sched.Share)
 	}
 }
 

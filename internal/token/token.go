@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Epsilon is the tolerance used when validating that matrix rows are
@@ -119,45 +120,132 @@ type Segment struct {
 // Width returns the probability mass of the segment.
 func (s Segment) Width() float64 { return s.Hi - s.Lo }
 
-// Assignment is the statistical token assignment: a tiling of [0, 1) by job
-// segments, in ascending order.
-type Assignment struct {
-	Segments []Segment
-	index    map[string]int
+// Block is one contiguous run of the assignment: the jobs of a single
+// terminal sharing scope with their raw (unnormalised) token weights
+// and the prefix sums a draw needs to binary-search within the run.
+// A Block is immutable once it is part of an Assignment — that is what
+// lets a delta recompile share the blocks of untouched scopes
+// pointer-identical across epochs instead of re-deriving a flat
+// segment array per generation.
+type Block struct {
+	Jobs []string
+	Ws   []float64 // raw weights, parallel to Jobs
+	Cum  []float64 // prefix sums of Ws: Cum[i] = Ws[0]+…+Ws[i]
+	Sum  float64   // total raw mass of the block (== Cum[len-1], 0 if empty)
 }
 
-// FromWeights builds an assignment from per-job weights (not necessarily
-// normalised). Jobs with non-positive weight receive an empty segment.
-// The job order is preserved so that segment layout is deterministic.
+// NewBlock builds a block over the given jobs and raw weights, taking
+// ownership of both slices (callers must not mutate them afterwards).
+func NewBlock(jobs []string, ws []float64) (*Block, error) {
+	if len(jobs) != len(ws) {
+		return nil, fmt.Errorf("token: %d jobs but %d weights", len(jobs), len(ws))
+	}
+	b := &Block{Jobs: jobs, Ws: ws, Cum: make([]float64, len(ws))}
+	sum := 0.0
+	for i, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("token: negative weight %g for job %s", w, jobs[i])
+		}
+		sum += w
+		b.Cum[i] = sum
+	}
+	b.Sum = sum
+	return b, nil
+}
+
+// Assignment is the statistical token assignment: a tiling of [0, 1) by
+// job segments, in ascending order, held as a sequence of scope blocks.
+// The flat []Segment view is materialised lazily (Segments) — the
+// steady-state draw path works off the blocks directly, so an
+// incrementally recompiled epoch never pays the O(jobs) flatten.
+type Assignment struct {
+	blocks []*Block
+	n      int     // total job count across blocks
+	total  float64 // Σ Block.Sum, in block order — the normaliser
+	index  map[string]float64
+	flat   atomic.Pointer[[]Segment]
+}
+
+// FromBlocks builds an assignment from scope blocks, taking ownership
+// of the slice. withIndex controls whether the O(jobs) job→share map is
+// built (Share answers 0 without it; the delta-recompile path skips it
+// because incremental epochs answer shares from the policy share tree).
+func FromBlocks(blocks []*Block, withIndex bool) (*Assignment, error) {
+	n := 0
+	total := 0.0
+	for _, b := range blocks {
+		n += len(b.Jobs)
+		total += b.Sum
+	}
+	if n == 0 {
+		return &Assignment{}, nil
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("token: all weights are zero")
+	}
+	a := &Assignment{blocks: blocks, n: n, total: total}
+	if withIndex {
+		a.index = make(map[string]float64, n)
+		for _, b := range blocks {
+			for i, j := range b.Jobs {
+				a.index[j] = b.Ws[i] / total
+			}
+		}
+	}
+	return a, nil
+}
+
+// FromWeights builds a single-block assignment from per-job weights
+// (not necessarily normalised). Jobs with non-positive weight receive
+// an empty segment. The job order is preserved so that segment layout
+// is deterministic. The input slices are copied.
 func FromWeights(jobs []string, weights []float64) (*Assignment, error) {
 	if len(jobs) != len(weights) {
 		return nil, fmt.Errorf("token: %d jobs but %d weights", len(jobs), len(weights))
 	}
 	if len(jobs) == 0 {
-		return &Assignment{index: map[string]int{}}, nil
+		return &Assignment{}, nil
 	}
-	total := 0.0
-	for i, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("token: negative weight %g for job %s", w, jobs[i])
-		}
-		total += w
+	b, err := NewBlock(append([]string(nil), jobs...), append([]float64(nil), weights...))
+	if err != nil {
+		return nil, err
 	}
-	if total <= 0 {
-		return nil, fmt.Errorf("token: all weights are zero")
+	return FromBlocks([]*Block{b}, true)
+}
+
+// Blocks returns the assignment's scope blocks in segment order. The
+// blocks and the slice are shared and must not be mutated.
+func (a *Assignment) Blocks() []*Block { return a.blocks }
+
+// Total returns the raw weight mass the segments are normalised by.
+func (a *Assignment) Total() float64 { return a.total }
+
+// Len returns the number of job segments in the assignment.
+func (a *Assignment) Len() int { return a.n }
+
+// Segments materialises the flat segment view of the assignment:
+// hi = lo + w/total per job in block order, with the final bound
+// clamped to 1.0 to absorb floating-point residue. The view is built
+// on first use and cached; reporting, validation, and the experiment
+// harness use it — the scheduler's draw path never does.
+func (a *Assignment) Segments() []Segment {
+	if p := a.flat.Load(); p != nil {
+		return *p
 	}
-	a := &Assignment{index: make(map[string]int, len(jobs))}
+	segs := make([]Segment, 0, a.n)
 	lo := 0.0
-	for i, j := range jobs {
-		hi := lo + weights[i]/total
-		if i == len(jobs)-1 {
-			hi = 1.0 // absorb floating-point residue
+	for _, b := range a.blocks {
+		for i, j := range b.Jobs {
+			hi := lo + b.Ws[i]/a.total
+			segs = append(segs, Segment{Lo: lo, Hi: hi, Job: j})
+			lo = hi
 		}
-		a.Segments = append(a.Segments, Segment{Lo: lo, Hi: hi, Job: j})
-		a.index[j] = i
-		lo = hi
 	}
-	return a, nil
+	if len(segs) > 0 {
+		segs[len(segs)-1].Hi = 1.0 // absorb floating-point residue
+	}
+	a.flat.Store(&segs)
+	return segs
 }
 
 // FromRowVector builds an assignment from a 1×J chain product, using the
@@ -174,51 +262,51 @@ func FromRowVector(m *Matrix) (*Assignment, error) {
 
 // Validate checks that segments tile [0, 1) without gaps or overlaps.
 func (a *Assignment) Validate() error {
-	if len(a.Segments) == 0 {
+	segs := a.Segments()
+	if len(segs) == 0 {
 		return nil
 	}
-	if math.Abs(a.Segments[0].Lo) > Epsilon {
-		return fmt.Errorf("token: first segment starts at %g", a.Segments[0].Lo)
+	if math.Abs(segs[0].Lo) > Epsilon {
+		return fmt.Errorf("token: first segment starts at %g", segs[0].Lo)
 	}
-	for i := 1; i < len(a.Segments); i++ {
-		if math.Abs(a.Segments[i].Lo-a.Segments[i-1].Hi) > Epsilon {
+	for i := 1; i < len(segs); i++ {
+		if math.Abs(segs[i].Lo-segs[i-1].Hi) > Epsilon {
 			return fmt.Errorf("token: gap between segment %d and %d", i-1, i)
 		}
 	}
-	last := a.Segments[len(a.Segments)-1]
+	last := segs[len(segs)-1]
 	if math.Abs(last.Hi-1) > Epsilon {
 		return fmt.Errorf("token: last segment ends at %g", last.Hi)
 	}
 	return nil
 }
 
-// Share returns the probability mass assigned to the given job, 0 if absent.
+// Share returns the probability mass assigned to the given job, 0 if
+// absent or if the assignment was built without an index.
 func (a *Assignment) Share(job string) float64 {
-	if i, ok := a.index[job]; ok {
-		return a.Segments[i].Width()
-	}
-	return 0
+	return a.index[job]
 }
 
 // Jobs returns the job ids in segment order.
 func (a *Assignment) Jobs() []string {
-	out := make([]string, len(a.Segments))
-	for i, s := range a.Segments {
-		out[i] = s.Job
+	out := make([]string, 0, a.n)
+	for _, b := range a.blocks {
+		out = append(out, b.Jobs...)
 	}
 	return out
 }
 
 // Lookup returns the job whose segment contains x ∈ [0, 1).
 func (a *Assignment) Lookup(x float64) (string, bool) {
-	if len(a.Segments) == 0 {
+	segs := a.Segments()
+	if len(segs) == 0 {
 		return "", false
 	}
-	i := sort.Search(len(a.Segments), func(i int) bool { return a.Segments[i].Hi > x })
-	if i >= len(a.Segments) {
-		i = len(a.Segments) - 1
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Hi > x })
+	if i >= len(segs) {
+		i = len(segs) - 1
 	}
-	return a.Segments[i].Job, true
+	return segs[i].Job, true
 }
 
 // PickEligible draws the statistical token conditioned on the eligible set:
@@ -231,35 +319,47 @@ func (a *Assignment) Lookup(x float64) (string, bool) {
 // is eligible, which mirrors ThemisIO's behaviour of serving unknown jobs
 // from leftover cycles rather than starving them.
 func (a *Assignment) PickEligible(eligible func(job string) bool, rnd func() float64) (string, bool) {
+	// The draw runs in raw weight space — eligible mass and the scaled
+	// draw both use the unnormalised block weights, which conditions the
+	// distribution identically to widths on [0, 1).
 	total := 0.0
-	for _, s := range a.Segments {
-		if eligible(s.Job) {
-			total += s.Width()
+	for _, b := range a.blocks {
+		for i, j := range b.Jobs {
+			if eligible(j) {
+				total += b.Ws[i]
+			}
 		}
 	}
 	if total <= 0 {
-		for _, s := range a.Segments {
-			if eligible(s.Job) {
-				return s.Job, true
+		for _, b := range a.blocks {
+			for _, j := range b.Jobs {
+				if eligible(j) {
+					return j, true
+				}
 			}
 		}
 		return "", false
 	}
 	x := rnd() * total
 	acc := 0.0
-	for _, s := range a.Segments {
-		if !eligible(s.Job) {
-			continue
-		}
-		acc += s.Width()
-		if x < acc {
-			return s.Job, true
+	for _, b := range a.blocks {
+		for i, j := range b.Jobs {
+			if !eligible(j) {
+				continue
+			}
+			acc += b.Ws[i]
+			if x < acc {
+				return j, true
+			}
 		}
 	}
 	// Floating point residue: fall back to the last eligible segment.
-	for i := len(a.Segments) - 1; i >= 0; i-- {
-		if eligible(a.Segments[i].Job) {
-			return a.Segments[i].Job, true
+	for bi := len(a.blocks) - 1; bi >= 0; bi-- {
+		b := a.blocks[bi]
+		for i := len(b.Jobs) - 1; i >= 0; i-- {
+			if eligible(b.Jobs[i]) {
+				return b.Jobs[i], true
+			}
 		}
 	}
 	return "", false

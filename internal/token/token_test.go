@@ -103,7 +103,7 @@ func TestFromWeightsErrors(t *testing.T) {
 		t.Fatal("want all-zero error")
 	}
 	a, err := FromWeights(nil, nil)
-	if err != nil || len(a.Segments) != 0 {
+	if err != nil || len(a.Segments()) != 0 {
 		t.Fatalf("empty input should give empty assignment, got %v %v", a, err)
 	}
 }
@@ -220,7 +220,7 @@ func TestLookupProperty(t *testing.T) {
 		if !ok {
 			return false
 		}
-		for _, s := range a.Segments {
+		for _, s := range a.Segments() {
 			if s.Job == job {
 				return x >= s.Lo-Epsilon && x < s.Hi+Epsilon
 			}

@@ -464,12 +464,20 @@ func AppendResponseFrame(b []byte, r *Response) []byte { return appendResponse(b
 // DecodeResponseFrame decodes a payload produced by AppendResponseFrame.
 func DecodeResponseFrame(b []byte, r *Response) error { return decodeResponse(b, r) }
 
-// reqFlagAppendAt marks the optional trailing group of a request frame
-// as carrying an offset-checked append position (AppendAt/AppendOff).
-// The group is omitted entirely when unused, so a frame without it is
+// Flags of the optional trailing group of a request frame. The group is
+// omitted entirely when every flagged field is zero, so such a frame is
 // byte-identical to what older encoders produced; older decoders never
-// look past the last fixed field and skip the group unparsed.
-const reqFlagAppendAt = 1 << 0
+// look past the last fixed field and skip the group unparsed. Flagged
+// field groups are encoded in flag-bit order, so a decoder that knows a
+// prefix of the flags still parses everything it understands.
+const (
+	// reqFlagAppendAt: an offset-checked append position
+	// (AppendAt/AppendOff).
+	reqFlagAppendAt = 1 << 0
+	// reqFlagShareFilter: a MsgShareReport paging filter
+	// (ShareTopN/ShareKind).
+	reqFlagShareFilter = 1 << 1
+)
 
 // appendRequestHead appends the fields up to and including the payload
 // length — the prefix of the frame that precedes the Data bytes.
@@ -503,9 +511,22 @@ func appendRequestTail(b []byte, r *Request) []byte {
 	b = appendTable(b, r.Table)
 	b = appendString(b, r.PolicyStr)
 	b = appendUvarint(b, r.PolicyEpoch)
+	var flags uint64
 	if r.AppendAt {
-		b = appendUvarint(b, reqFlagAppendAt)
-		b = appendSvarint(b, r.AppendOff)
+		flags |= reqFlagAppendAt
+	}
+	if r.ShareTopN != 0 || r.ShareKind != "" {
+		flags |= reqFlagShareFilter
+	}
+	if flags != 0 {
+		b = appendUvarint(b, flags)
+		if flags&reqFlagAppendAt != 0 {
+			b = appendSvarint(b, r.AppendOff)
+		}
+		if flags&reqFlagShareFilter != 0 {
+			b = appendSvarint(b, int64(r.ShareTopN))
+			b = appendString(b, r.ShareKind)
+		}
 	}
 	return b
 }
@@ -554,6 +575,10 @@ func decodeRequest(b []byte, r *Request) error {
 		if flags&reqFlagAppendAt != 0 {
 			r.AppendAt = true
 			r.AppendOff = d.svarint()
+		}
+		if flags&reqFlagShareFilter != 0 {
+			r.ShareTopN = int(d.svarint())
+			r.ShareKind = d.str()
 		}
 	}
 	return d.err

@@ -164,6 +164,31 @@ func TestWireCompatTrailingFields(t *testing.T) {
 		t.Fatalf("unknown trailing bytes must be skipped: %v", err)
 	}
 
+	// The share-report paging filter rides the same flagged group, alone
+	// or composed with AppendAt (fields in flag-bit order).
+	flt := sampleRequest()
+	flt.ShareTopN = 20
+	flt.ShareKind = "user"
+	fb := appendRequest(nil, flt)
+	if !bytes.HasPrefix(fb, old) || len(fb) == len(old) {
+		t.Fatal("the share-filter group must extend the old encoding as a strict suffix")
+	}
+	var gotF Request
+	if err := decodeRequest(fb, &gotF); err != nil || gotF.ShareTopN != 20 || gotF.ShareKind != "user" {
+		t.Fatalf("share filter lost: %+v err=%v", gotF, err)
+	}
+	if gotF.AppendAt {
+		t.Fatal("filter-only frame must not imply AppendAt")
+	}
+	both := sampleRequest()
+	both.AppendAt, both.AppendOff = true, 4096
+	both.ShareTopN, both.ShareKind = 5, "group"
+	var gotB Request
+	if err := decodeRequest(appendRequest(nil, both), &gotB); err != nil ||
+		!gotB.AppendAt || gotB.AppendOff != 4096 || gotB.ShareTopN != 5 || gotB.ShareKind != "group" {
+		t.Fatalf("composed flag groups lost: %+v err=%v", gotB, err)
+	}
+
 	// Response side: the capability word.
 	r := &Response{Seq: 7, N: 5, Size: 99}
 	oldR := appendResponse(nil, r)

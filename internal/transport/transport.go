@@ -241,6 +241,15 @@ type Request struct {
 	PolicyStr   string
 	PolicyEpoch uint64
 
+	// ShareTopN and ShareKind page a MsgShareReport server-side: the
+	// ledger returns only the top N entities by |residual| of the given
+	// kind ("job", "user", "group"; "" or "all" keeps every kind). Zero
+	// values mean the full report — the legacy behaviour, and what an
+	// older client's frame decodes to. Rides the optional trailing
+	// frame group (older servers ignore it and answer unfiltered).
+	ShareTopN int
+	ShareKind string
+
 	// frame is the leased receive buffer a binary-decoded request's
 	// Data aliases; Release returns it to the payload pool.
 	frame []byte
