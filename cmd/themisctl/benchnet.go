@@ -32,8 +32,11 @@ const (
 // benchNetCmd runs the probe against addr. The scratch file is created
 // and removed through the client library (so it gets a well-formed
 // stripe layout); the measured stream itself is a raw pipelined
-// MsgWrite sequence on its own instrumented connection.
-func benchNetCmd(stdout io.Writer, addr string) error {
+// MsgWrite sequence on its own instrumented connections. With conns >
+// 1 the probe sweeps doubling connection counts up to conns — the CLI
+// answer to "what does a pool of N buy this link" — splitting the same
+// 64 MiB across the conns of each round.
+func benchNetCmd(stdout io.Writer, addr string, conns int) error {
 	job := policy.JobInfo{JobID: "themisctl-bench", UserID: "operator", GroupID: "staff", Nodes: 1}
 
 	// Dial the whole fabric, not just addr: a create whose stripe set
@@ -60,14 +63,14 @@ func benchNetCmd(stdout io.Writer, addr string) error {
 
 	var (
 		path string
-		fd   int
+		f    *client.File
 	)
 	for i := 0; ; i++ {
 		if i == 256 {
 			return fmt.Errorf("bench net: no scratch path places on %s (draining?)", addr)
 		}
 		path = fmt.Sprintf("/.bench-net-%d-%d", os.Getpid(), i)
-		if fd, err = c.Open(path, true); err != nil {
+		if f, err = c.Open(path, true); err != nil {
 			return err
 		}
 		set, _, err := c.Layout(path)
@@ -77,39 +80,77 @@ func benchNetCmd(stdout io.Writer, addr string) error {
 		if len(set) > 0 && set[0] == addr {
 			break
 		}
-		c.CloseFd(fd)
+		f.Close()
 		if err := c.Unlink(path); err != nil {
 			return err
 		}
 	}
 	defer c.Unlink(path)
-	defer c.CloseFd(fd)
+	defer f.Close()
 
-	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	// Writes must echo the file's layout generation or a fabric whose
+	// epoch has moved past the create answers stale-layout.
+	layoutGen, err := layoutGenOf(addr, job, path)
 	if err != nil {
 		return err
 	}
-	st := &transport.Stats{}
-	conn := transport.NewBinaryConnStats(raw, st)
-	defer conn.Close()
 
-	// Writes must echo the file's layout generation or a fabric whose
-	// epoch has moved past the create answers stale-layout; the stat
-	// also warms the conn before the timed stream.
+	if conns < 1 {
+		conns = 1
+	}
+	sizes := []int{}
+	for n := 1; n < conns; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	sizes = append(sizes, conns) // always end the sweep on the asked size
+	for _, n := range sizes {
+		if err := benchNetStream(stdout, addr, job, path, layoutGen, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// layoutGenOf stats path over a throwaway conn and returns the layout
+// generation the streamed appends must echo.
+func layoutGenOf(addr string, job policy.JobInfo, path string) (uint64, error) {
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	conn := transport.NewBinaryConn(raw)
+	defer conn.Close()
 	if err := conn.SendRequest(&transport.Request{
 		Type: transport.MsgStat, Seq: 1, Job: job, Path: path,
 	}); err != nil {
-		return err
+		return 0, err
 	}
-	statResp, err := conn.RecvResponse()
+	resp, err := conn.RecvResponse()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if statResp.Err != "" {
-		return statResp.Error()
+	defer resp.Release()
+	if resp.Err != "" {
+		return 0, resp.Error()
 	}
-	layoutGen := statResp.LayoutGen
-	statResp.Release()
+	return resp.LayoutGen, nil
+}
+
+// benchNetStream times one sweep round: the 64 MiB workload split
+// evenly over nconns raw instrumented connections, each pipelining its
+// share with a benchNetWindow in-flight budget — the wire shape a
+// size-n connection pool produces.
+func benchNetStream(stdout io.Writer, addr string, job policy.JobInfo, path string, layoutGen uint64, nconns int) error {
+	st := &transport.Stats{}
+	cs := make([]*transport.Conn, nconns)
+	for i := range cs {
+		raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return err
+		}
+		cs[i] = transport.NewBinaryConnStats(raw, st)
+		defer cs[i].Close()
+	}
 
 	vec0, vecBytes0, flat0 := transport.IOStats()
 	payload := make([]byte, benchNetFrame)
@@ -118,63 +159,75 @@ func benchNetCmd(stdout io.Writer, addr string) error {
 	}
 	frames := benchNetTotal / benchNetFrame
 
-	// Window the appends: up to benchNetWindow unacked frames keep the
-	// pipe full; the reader goroutine drains acks and surfaces the
-	// first server-side error.
-	sem := make(chan struct{}, benchNetWindow)
-	done := make(chan struct{})
+	// Each conn windows its own appends: up to benchNetWindow unacked
+	// frames keep its pipe full; a reader goroutine per conn drains acks
+	// and surfaces the first server-side error.
 	var (
-		wg      sync.WaitGroup
-		readErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		oops error
 	)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer close(done) // a dead reader must not strand the sender on sem
-		for i := 0; i < frames; i++ {
-			resp, err := conn.RecvResponse()
-			if err != nil {
-				readErr = err
-				return
-			}
-			if resp.Err != "" && readErr == nil {
-				readErr = resp.Error()
-			}
-			resp.Release()
-			<-sem
+	fail := func(err error) {
+		mu.Lock()
+		if oops == nil {
+			oops = err
 		}
-	}()
+		mu.Unlock()
+	}
 	start := time.Now()
-	var sendErr error
-send:
-	for i := 0; i < frames; i++ {
-		select {
-		case sem <- struct{}{}:
-		case <-done:
-			break send
+	for ci, conn := range cs {
+		share := frames / nconns
+		if ci < frames%nconns {
+			share++
 		}
-		if err := conn.SendRequest(&transport.Request{
-			Type: transport.MsgWrite, Seq: uint64(i + 2), Job: job,
-			Path: path, Data: payload, LayoutGen: layoutGen,
-		}); err != nil {
-			sendErr = err
-			conn.Close() // unblocks the reader
-			break
-		}
+		sem := make(chan struct{}, benchNetWindow)
+		done := make(chan struct{})
+		wg.Add(2)
+		go func(conn *transport.Conn, share int) {
+			defer wg.Done()
+			defer close(done) // a dead reader must not strand the sender on sem
+			for i := 0; i < share; i++ {
+				resp, err := conn.RecvResponse()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if resp.Err != "" {
+					fail(resp.Error())
+				}
+				resp.Release()
+				<-sem
+			}
+		}(conn, share)
+		go func(conn *transport.Conn, share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				select {
+				case sem <- struct{}{}:
+				case <-done:
+					return
+				}
+				if err := conn.SendRequest(&transport.Request{
+					Type: transport.MsgWrite, Seq: uint64(i + 2), Job: job,
+					Path: path, Data: payload, LayoutGen: layoutGen,
+				}); err != nil {
+					fail(err)
+					conn.Close() // unblocks the reader
+					return
+				}
+			}
+		}(conn, share)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if sendErr != nil {
-		return sendErr
-	}
-	if readErr != nil {
-		return readErr
+	if oops != nil {
+		return oops
 	}
 
 	// Distill: throughput from the wall clock, wire accounting from the
-	// Stats rows, write-syscall economy from the process-wide IOStats
-	// deltas (this probe's conn is the only data-plane sender in the
-	// process, so the delta is its own).
+	// shared Stats rows, write-syscall economy from the process-wide
+	// IOStats deltas (this probe's conns are the only data-plane senders
+	// in the process, so the delta is its own).
 	var outFrames, outBytes int64
 	st.Snapshot(func(typ, dir string, f, b int64) {
 		if typ == transport.MsgWrite.String() && dir == "out" {
@@ -184,10 +237,10 @@ send:
 	vec1, vecBytes1, flat1 := transport.IOStats()
 	writeCalls := (vec1 - vec0) + (flat1 - flat0)
 	mbps := float64(benchNetTotal) / (1 << 20) / elapsed.Seconds()
-	fmt.Fprintf(stdout, "%s\t%d MiB in %d frames, %.1f MB/s\n",
-		addr, benchNetTotal>>20, outFrames, mbps)
-	fmt.Fprintf(stdout, "%s\twire %d bytes (%.1f bytes/frame overhead), %.2f write syscalls/frame, %d/%d frames vectored (%d MiB as iovecs)\n",
-		addr, outBytes,
+	fmt.Fprintf(stdout, "%s\tconns=%d\t%d MiB in %d frames, %.1f MB/s\n",
+		addr, nconns, benchNetTotal>>20, outFrames, mbps)
+	fmt.Fprintf(stdout, "%s\tconns=%d\twire %d bytes (%.1f bytes/frame overhead), %.2f write syscalls/frame, %d/%d frames vectored (%d MiB as iovecs)\n",
+		addr, nconns, outBytes,
 		float64(outBytes-int64(frames)*benchNetFrame)/float64(frames),
 		float64(writeCalls)/float64(frames),
 		vec1-vec0, writeCalls, (vecBytes1-vecBytes0)>>20)

@@ -44,6 +44,33 @@ func TestBenchNetLive(t *testing.T) {
 	}
 }
 
+// `bench net -conns 4` sweeps doubling connection counts and prints a
+// throughput row per pool size.
+func TestBenchNetConnsSweep(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(ln, server.Config{Policy: policy.SizeFair, Quiet: true})
+	go srv.Serve()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-conns", "4", "bench", "net", addr}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("bench net -conns 4 exited %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, row := range []string{"conns=1\t", "conns=2\t", "conns=4\t"} {
+		if !strings.Contains(text, row) {
+			t.Fatalf("sweep output missing %q: %q", row, text)
+		}
+	}
+	if strings.Count(text, "MB/s") != 3 {
+		t.Fatalf("want one throughput row per sweep size: %q", text)
+	}
+}
+
 // An unreachable target exits non-zero with the dial error on stderr,
 // and malformed invocations are usage errors.
 func TestBenchNetErrors(t *testing.T) {
@@ -84,5 +111,28 @@ func TestParseStripeUnit(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-stripe-unit", "64k", "ls", "/"}, strings.NewReader(""), &out, &errOut); code != 2 {
 		t.Fatalf("bad -stripe-unit exited %d, want 2", code)
+	}
+}
+
+// The -conns-per-server flag accepts counts and "auto", and refuses
+// garbage with a usage exit.
+func TestParseConnsPerServer(t *testing.T) {
+	if n, err := parseConnsPerServer("0"); err != nil || n != 0 {
+		t.Fatalf("0: n=%d err=%v", n, err)
+	}
+	if n, err := parseConnsPerServer("4"); err != nil || n != 4 {
+		t.Fatalf("4: n=%d err=%v", n, err)
+	}
+	if n, err := parseConnsPerServer("auto"); err != nil || n >= 0 {
+		t.Fatalf("auto: n=%d err=%v (want the AutoConnsPerServer sentinel)", n, err)
+	}
+	for _, bad := range []string{"-5", "two", ""} {
+		if _, err := parseConnsPerServer(bad); err == nil {
+			t.Fatalf("%q parsed without error", bad)
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-conns-per-server", "two", "ls", "/"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("bad -conns-per-server exited %d, want 2", code)
 	}
 }

@@ -64,6 +64,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -102,6 +103,9 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stripes := fs.Int("stripes", 1, "servers each file's data spans")
 	stripeUnitStr := fs.String("stripe-unit", "0",
 		"bytes per stripe chunk (0 = default, 'auto' = size from the measured bandwidth-delay product)")
+	connsPerServerStr := fs.String("conns-per-server", "0",
+		"pooled connections per server (0 = default, 'auto' = scale with -stripes)")
+	benchConns := fs.Int("conns", 1, "bench net: sweep doubling connection counts up to N")
 	topN := fs.Int("top", 20, "policy status: show only the top N entities by |residual| (0 = all)")
 	kind := fs.String("kind", "", "policy status: restrict rows to one entity kind (job, user or group; empty = all)")
 	if err := fs.Parse(argv); err != nil {
@@ -110,6 +114,11 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stripeUnit, err := parseStripeUnit(*stripeUnitStr)
 	if err != nil {
 		fmt.Fprintf(stderr, "themisctl: -stripe-unit: %v\n", err)
+		return 2
+	}
+	connsPerServer, err := parseConnsPerServer(*connsPerServerStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "themisctl: -conns-per-server: %v\n", err)
 		return 2
 	}
 	args := fs.Args()
@@ -145,7 +154,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if path != "net" || len(args) < 3 {
 			return usage("bench", fmt.Errorf("usage: bench net ADDR"))
 		}
-		if err := benchNetCmd(stdout, args[2]); err != nil {
+		if err := benchNetCmd(stdout, args[2], *benchConns); err != nil {
 			return fail("bench net "+args[2], err)
 		}
 		return 0
@@ -213,7 +222,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	c, err := client.DialOpts(policy.JobInfo{
 		JobID: *jobID, UserID: *user, GroupID: *group, Nodes: *nodes,
-	}, addrs, client.Options{Stripes: *stripes, StripeUnit: stripeUnit})
+	}, addrs, client.Options{Stripes: *stripes, StripeUnit: stripeUnit, ConnsPerServer: connsPerServer})
 	if err != nil {
 		return fail(cmd+" "+path, err)
 	}
@@ -228,35 +237,27 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			break
 		}
-		var fd int
-		fd, err = c.Open(path, true)
+		var f *client.File
+		f, err = c.OpenContext(context.Background(), path, true)
 		if err != nil {
 			break
 		}
-		_, err = c.Write(fd, data)
+		_, err = f.Write(data)
+		f.Close()
 	case "get":
-		var fd int
-		fd, err = c.Open(path, false)
+		var f *client.File
+		f, err = c.OpenContext(context.Background(), path, false)
 		if err != nil {
 			break
 		}
-		buf := make([]byte, 1<<20)
-		for {
-			n, rerr := c.Read(fd, buf)
-			if n > 0 {
-				stdout.Write(buf[:n])
-			}
-			if rerr != nil {
-				// A mid-stream read error used to be swallowed here: the
-				// command printed a truncated file and exited 0, so a
-				// script could never tell a short get from a whole one.
-				err = rerr
-				break
-			}
-			if n == 0 {
-				break
-			}
+		if _, err = io.Copy(stdout, f); err != nil {
+			// A mid-stream read error used to be swallowed here: the
+			// command printed a truncated file and exited 0, so a script
+			// could never tell a short get from a whole one.
+			f.Close()
+			break
 		}
+		err = f.Close()
 	case "ls":
 		var names []string
 		names, err = c.Readdir(path)
@@ -292,6 +293,20 @@ func parseStripeUnit(s string) (int64, error) {
 	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("want a byte count or 'auto', got %q", s)
+	}
+	return n, nil
+}
+
+// parseConnsPerServer parses the -conns-per-server flag: a count, or
+// "auto" to scale the pool with the stripe width
+// (client.AutoConnsPerServer).
+func parseConnsPerServer(s string) (int, error) {
+	if strings.EqualFold(s, "auto") {
+		return client.AutoConnsPerServer, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a connection count or 'auto', got %q", s)
 	}
 	return n, nil
 }

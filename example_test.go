@@ -6,9 +6,13 @@ package themisio_test
 // only (it binds sockets).
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
+	"strings"
 	"time"
 
 	"themisio"
@@ -91,11 +95,56 @@ func ExampleNewServer() {
 	if err != nil {
 		panic(err)
 	}
-	fd, _ := c.Open("/ckpt.bin", true)
-	c.Write(fd, []byte("checkpoint bytes"))
+	f, _ := c.Open("/ckpt.bin", true)
+	f.Write([]byte("checkpoint bytes"))
+	f.Close()
 	c.Flush() // durability barrier: dirty bytes reach the backing store
 	c.Close()
 	srv.Leave() // graceful: flush, announce departure, stop
+}
+
+// ExampleClient_Open is the handle-based client API: Open returns a
+// *File speaking io.ReadWriteSeeker, context variants bound each call,
+// and failures match exported sentinels through errors.Is. (Compile-
+// checked only: it binds sockets.)
+func ExampleClient_Open() {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := themisio.NewServer(ln, themisio.ServerConfig{Policy: themisio.SizeFair})
+	go srv.Serve()
+
+	job := themisio.JobInfo{JobID: "analysis", UserID: "alice", Nodes: 2}
+	c, err := themisio.DialStriped(job, []string{ln.Addr().String()}, themisio.ClientOptions{
+		Stripes:        1,
+		ConnsPerServer: themisio.AutoConnsPerServer, // pool scales with stripe width
+	})
+	if errors.Is(err, themisio.ErrInvalidOptions) {
+		panic("malformed options are refused before any dial")
+	}
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	// A handle is an io.ReadWriteSeeker: io.Copy and friends just work.
+	f, err := c.Open("/results.bin", true)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(f, strings.NewReader("run output"))
+	f.Seek(0, io.SeekStart)
+	io.Copy(io.Discard, f)
+	f.Close()
+
+	// Context variants bound any call; cancellation surfaces as a typed
+	// error, distinct from server failures.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, _, err := c.StatContext(ctx, "/missing"); errors.Is(err, themisio.ErrNotExist) {
+		fmt.Println("no such file")
+	} else if errors.Is(err, themisio.ErrCanceled) {
+		fmt.Println("deadline hit first")
+	}
+	srv.Leave()
 }
 
 // ExampleNewCluster runs the discrete-event simulator for two seconds

@@ -11,6 +11,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"time"
@@ -109,21 +110,22 @@ func main() {
 	for i := range data {
 		data[i] = byte(i * 131)
 	}
-	fd, err := c.Open("/ckpt.bin", true)
+	f, err := c.Open("/ckpt.bin", true)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	start = time.Now()
-	if _, err := c.Write(fd, data); err != nil {
+	if _, err := f.Write(data); err != nil {
 		log.Fatal(err)
 	}
 	wDur := time.Since(start)
-	if _, err := c.Lseek(fd, 0, 0); err != nil {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		log.Fatal(err)
 	}
 	got := make([]byte, len(data))
 	start = time.Now()
-	if _, err := c.Read(fd, got); err != nil {
+	if _, err := io.ReadFull(f, got); err != nil {
 		log.Fatal(err)
 	}
 	rDur := time.Since(start)
@@ -167,11 +169,13 @@ func main() {
 	// before recreating.
 	for {
 		_ = c.Unlink("/after.bin")
-		fd2, err := c.Open("/after.bin", true)
+		f2, err := c.Open("/after.bin", true)
 		if err == nil {
-			if _, err = c.Write(fd2, data[:1<<20]); err == nil {
+			if _, err = f2.Write(data[:1<<20]); err == nil {
+				f2.Close()
 				break
 			}
+			f2.Close()
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

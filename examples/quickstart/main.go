@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
 
@@ -40,19 +41,20 @@ func main() {
 	if err := c.Mkdir("/results"); err != nil {
 		log.Fatal(err)
 	}
-	fd, err := c.Open("/results/checkpoint.dat", true)
+	f, err := c.Open("/results/checkpoint.dat", true)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	payload := []byte("step=1000 energy=-42.17")
-	if _, err := c.Write(fd, payload); err != nil {
+	if _, err := f.Write(payload); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Lseek(fd, 0, 0); err != nil {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		log.Fatal(err)
 	}
 	buf := make([]byte, len(payload))
-	if _, err := c.Read(fd, buf); err != nil {
+	if _, err := io.ReadFull(f, buf); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read back: %q\n", buf)

@@ -18,7 +18,9 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sort"
 	"sync"
@@ -32,17 +34,32 @@ import (
 	"themisio/internal/transport"
 )
 
-// Options tunes a client beyond the defaults.
+// Options tunes a client beyond the defaults. DialOpts validates: a
+// negative Stripes, a negative non-sentinel StripeUnit or ConnsPerServer,
+// or a positive StripeUnit that is not a power of two are refused with
+// an error matching ErrInvalidOptions (zero always means "default" —
+// the zero Options value stays valid).
 type Options struct {
 	// Stripes is the number of servers each file's data spans (clipped
-	// to the live server count; non-positive means 1, the unstriped
-	// placement of the seed implementation).
+	// to the live server count; zero means 1, the unstriped placement
+	// of the seed implementation; negative is refused).
 	Stripes int
 	// StripeUnit is the bytes written to one server before moving to
 	// the next (zero selects DefaultStripeUnit; AutoStripeUnit sizes
 	// the unit of each newly created file to the measured
-	// bandwidth-delay product instead).
+	// bandwidth-delay product instead). Must be a power of two: the
+	// round-robin arithmetic and the BDP unit classes both assume it,
+	// and the old code silently accepted (then mis-measured) other
+	// values.
 	StripeUnit int64
+	// ConnsPerServer is the connection-pool width per server: how many
+	// TCP connections the client multiplexes its traffic to one server
+	// over. Writes pin each (file, stripe) to one slot so per-stripe
+	// append order is preserved; read chunks spread across all slots.
+	// Zero selects DefaultConnsPerServer, AutoConnsPerServer scales
+	// with the stripe width, 1 reproduces the old single-connection
+	// behavior; other negatives are refused.
+	ConnsPerServer int
 	// LegacyGob forces the gob wire codec instead of the default
 	// length-prefixed binary codec — the escape hatch for servers too
 	// old to auto-detect the binary preamble.
@@ -59,6 +76,39 @@ const DefaultStripeUnit = 1 << 20
 // metadata like any explicit one, so readers need no negotiation.
 const AutoStripeUnit int64 = -1
 
+// DefaultConnsPerServer is the pool width when Options.ConnsPerServer
+// is zero.
+const DefaultConnsPerServer = 4
+
+// AutoConnsPerServer as Options.ConnsPerServer sizes each server's pool
+// to the stripe width (clamped to [1, maxAutoConns]): a file that fans
+// out over k stripes tends to put k concurrent chunk streams on each
+// server once several files are in flight.
+const AutoConnsPerServer = -1
+
+// maxAutoConns caps the AutoConnsPerServer pool width.
+const maxAutoConns = 8
+
+// validateOptions refuses nonsense option values with typed usage
+// errors instead of the old silent clamps. Zero always means "default".
+func validateOptions(opts Options) error {
+	if opts.Stripes < 0 {
+		return fmt.Errorf("client: %w: Stripes %d is negative (0 means default)", ErrInvalidOptions, opts.Stripes)
+	}
+	if opts.StripeUnit < 0 && opts.StripeUnit != AutoStripeUnit {
+		return fmt.Errorf("client: %w: StripeUnit %d is negative (0 means default, %d means auto)",
+			ErrInvalidOptions, opts.StripeUnit, AutoStripeUnit)
+	}
+	if u := opts.StripeUnit; u > 0 && u&(u-1) != 0 {
+		return fmt.Errorf("client: %w: StripeUnit %d is not a power of two", ErrInvalidOptions, u)
+	}
+	if cps := opts.ConnsPerServer; cps < 0 && cps != AutoConnsPerServer {
+		return fmt.Errorf("client: %w: ConnsPerServer %d is negative (0 means default, %d means auto)",
+			ErrInvalidOptions, cps, AutoConnsPerServer)
+	}
+	return nil
+}
+
 // Client is one application process's connection to the burst buffer.
 type Client struct {
 	job  policy.JobInfo
@@ -69,21 +119,25 @@ type Client struct {
 	autoUnit bool
 	bdp      bdpEstimator
 
+	// connsPerServer is the resolved pool width (defaults and the auto
+	// sentinel applied at dial time).
+	connsPerServer int
+
 	mu       sync.Mutex
-	conns    map[string]*serverConn
+	pools    map[string]*transport.Pool
 	draining map[string]bool // members to avoid for new placement
 	// unreachable remembers when a dial or call to a member last
 	// failed: recorded stripe sets keep naming dead members, and
 	// re-dialing one (2s timeout) on every stat would stall the client.
-	// ensureConn fast-fails inside the cooldown; a member that comes
+	// ensurePool fast-fails inside the cooldown; a member that comes
 	// back (restart, rejoin) is re-dialed after it.
 	unreachable map[string]time.Time
 	fds         map[int]*fileHandle
 	next        int
 	seq         atomic.Uint64
-	// closed stops ensureConn from registering new connections after
-	// Close — the membership refresh dials joiners asynchronously, and
-	// a dial completing after teardown would leak its socket.
+	// closed stops ensurePool from registering new pools after Close —
+	// the membership refresh dials joiners asynchronously, and a dial
+	// completing after teardown would leak its sockets.
 	closed atomic.Bool
 
 	hbStop chan struct{}
@@ -111,101 +165,27 @@ type fileHandle struct {
 	damaged bool
 }
 
-// serverConn multiplexes concurrent requests over one connection.
-type serverConn struct {
-	addr string
-	conn *transport.Conn
-	// caps accumulates the capability bits the peer has stamped on its
-	// responses (zero until the first response arrives — an old server
-	// never sends any). The client gates pipelined positional appends
-	// on having actually observed CapAppendAt here.
-	caps atomic.Uint64
-	mu   sync.Mutex
-	wait map[uint64]chan *transport.Response
-	err  error
-}
-
-func dialServer(addr string, legacyGob bool) (*serverConn, error) {
+// dialConn dials one raw data connection to addr — the pool's dial
+// function (transport.Pool owns the multiplexing that the old
+// serverConn type used to).
+func dialConn(addr string, legacyGob bool) (*transport.Conn, error) {
 	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	conn := transport.NewBinaryConn(raw)
 	if legacyGob {
-		conn = transport.NewConn(raw)
+		return transport.NewConn(raw), nil
 	}
-	sc := &serverConn{
-		addr: addr,
-		conn: conn,
-		wait: map[uint64]chan *transport.Response{},
-	}
-	go sc.reader()
-	return sc, nil
+	return transport.NewBinaryConn(raw), nil
 }
 
-func (sc *serverConn) reader() {
-	for {
-		resp, err := sc.conn.RecvResponse()
-		if err != nil {
-			sc.mu.Lock()
-			sc.err = err
-			for _, ch := range sc.wait {
-				close(ch)
-			}
-			sc.wait = map[uint64]chan *transport.Response{}
-			sc.mu.Unlock()
-			return
-		}
-		if resp.Caps != 0 {
-			sc.caps.Store(resp.Caps)
-		}
-		sc.mu.Lock()
-		ch, ok := sc.wait[resp.Seq]
-		delete(sc.wait, resp.Seq)
-		sc.mu.Unlock()
-		if ok {
-			ch <- resp
-		} else {
-			// No waiter (a call torn down mid-send): the leased frame
-			// goes straight back to the pool.
-			resp.Release()
-		}
-	}
-}
-
-// start registers req's response channel and puts the request on the
-// wire without waiting — the building block of pipelined stripe I/O.
-// The caller must receive exactly once from the returned channel; a
-// closed channel means the connection died.
-func (sc *serverConn) start(req *transport.Request) (chan *transport.Response, error) {
-	ch := make(chan *transport.Response, 1)
-	sc.mu.Lock()
-	if sc.err != nil {
-		err := sc.err
-		sc.mu.Unlock()
-		return nil, err
-	}
-	sc.wait[req.Seq] = ch
-	sc.mu.Unlock()
-	if err := sc.conn.SendRequest(req); err != nil {
-		sc.mu.Lock()
-		delete(sc.wait, req.Seq)
-		sc.mu.Unlock()
-		return nil, err
-	}
-	return ch, nil
-}
-
-func (sc *serverConn) call(req *transport.Request) (*transport.Response, error) {
-	ch, err := sc.start(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, ok := <-ch
-	if !ok {
-		return nil, fmt.Errorf("client: connection lost")
-	}
-	return resp, nil
+// newPool builds the connection pool for addr: slot 0 dials eagerly (so
+// an unreachable server fails here, with the same semantics one dial
+// had), the rest lazily.
+func (c *Client) newPool(addr string) (*transport.Pool, error) {
+	legacy := c.opts.LegacyGob
+	return transport.NewPool(addr, c.connsPerServer, pipelineWindow,
+		func(a string) (*transport.Conn, error) { return dialConn(a, legacy) })
 }
 
 // Dial connects to the given servers under the job identity with
@@ -216,12 +196,16 @@ func Dial(job policy.JobInfo, servers []string) (*Client, error) {
 	return DialOpts(job, servers, Options{})
 }
 
-// DialOpts connects with explicit striping options.
+// DialOpts connects with explicit striping and pooling options,
+// refusing invalid option values (see Options and ErrInvalidOptions).
 func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("client: no servers")
 	}
-	if opts.Stripes <= 0 {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if opts.Stripes == 0 {
 		opts.Stripes = 1
 	}
 	autoUnit := opts.StripeUnit == AutoStripeUnit
@@ -230,26 +214,39 @@ func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, erro
 		// unit assumed for legacy files whose metadata records none.
 		opts.StripeUnit = DefaultStripeUnit
 	}
+	switch opts.ConnsPerServer {
+	case 0:
+		opts.ConnsPerServer = DefaultConnsPerServer
+	case AutoConnsPerServer:
+		opts.ConnsPerServer = opts.Stripes
+		if opts.ConnsPerServer < 1 {
+			opts.ConnsPerServer = 1
+		}
+		if opts.ConnsPerServer > maxAutoConns {
+			opts.ConnsPerServer = maxAutoConns
+		}
+	}
 	c := &Client{
-		autoUnit:    autoUnit,
-		job:         job,
-		ring:        chash.New(0),
-		opts:        opts,
-		conns:       map[string]*serverConn{},
-		draining:    map[string]bool{},
-		unreachable: map[string]time.Time{},
-		fds:         map[int]*fileHandle{},
-		next:        3, // fds 0-2 are taken, as in POSIX
-		hbStop:      make(chan struct{}),
-		hbDone:      make(chan struct{}),
+		autoUnit:       autoUnit,
+		job:            job,
+		ring:           chash.New(0),
+		opts:           opts,
+		connsPerServer: opts.ConnsPerServer,
+		pools:          map[string]*transport.Pool{},
+		draining:       map[string]bool{},
+		unreachable:    map[string]time.Time{},
+		fds:            map[int]*fileHandle{},
+		next:           3, // fds 0-2 are taken, as in POSIX
+		hbStop:         make(chan struct{}),
+		hbDone:         make(chan struct{}),
 	}
 	for _, addr := range servers {
-		sc, err := dialServer(addr, opts.LegacyGob)
+		p, err := c.newPool(addr)
 		if err != nil {
-			c.closeConns()
+			c.closePools()
 			return nil, err
 		}
-		c.conns[addr] = sc
+		c.pools[addr] = p
 		c.ring.Add(addr)
 	}
 	c.heartbeatAll()
@@ -257,9 +254,9 @@ func DialOpts(job policy.JobInfo, servers []string, opts Options) (*Client, erro
 	return c, nil
 }
 
-func (c *Client) closeConns() {
-	for _, sc := range c.conns {
-		sc.conn.Close()
+func (c *Client) closePools() {
+	for _, p := range c.pools {
+		p.Close()
 	}
 }
 
@@ -273,14 +270,16 @@ func (c *Client) Close() {
 	// Copy under the lock, send after: a goodbye to a wedged server
 	// must not hold c.mu and block every other client method.
 	c.mu.Lock()
-	conns := make([]*serverConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
+	pools := make([]*transport.Pool, 0, len(c.pools))
+	for _, p := range c.pools {
+		pools = append(pools, p)
 	}
 	c.mu.Unlock()
-	for _, sc := range conns {
-		_ = sc.conn.SendRequest(&transport.Request{Type: transport.MsgBye, Job: c.job})
-		sc.conn.Close()
+	for _, p := range pools {
+		p.ForEach(func(mc *transport.MuxConn) {
+			_ = mc.Send(&transport.Request{Type: transport.MsgBye, Job: c.job})
+		})
+		p.Close()
 	}
 }
 
@@ -308,20 +307,20 @@ func (c *Client) heartbeatLoop() {
 // remembered so new files avoid them.
 func (c *Client) refreshMembership() {
 	c.mu.Lock()
-	var any *serverConn
-	for _, sc := range c.conns {
-		any = sc
+	var any *transport.Pool
+	for _, p := range c.pools {
+		any = p
 		break
 	}
 	c.mu.Unlock()
 	if any == nil {
 		return
 	}
-	resp, err := any.call(&transport.Request{
+	resp, err := c.poolCall(context.Background(), any, &transport.Request{
 		Type: transport.MsgClusterStatus, Seq: c.seq.Add(1), Job: c.job,
 	})
 	if err != nil {
-		c.markFailed(any.addr)
+		c.markFailed(any.Addr())
 		return
 	}
 	for _, m := range cluster.FromRecords(resp.Members) {
@@ -334,7 +333,7 @@ func (c *Client) refreshMembership() {
 			c.mu.Unlock()
 		case cluster.StateAlive:
 			c.mu.Lock()
-			_, have := c.conns[m.Addr]
+			_, have := c.pools[m.Addr]
 			delete(c.draining, m.Addr)
 			c.mu.Unlock()
 			// A member this client has never dialed is a scale-out join:
@@ -343,10 +342,10 @@ func (c *Client) refreshMembership() {
 			// new member stay reachable. The dial runs off this loop — a
 			// member the fabric gossips alive but this client cannot
 			// reach (asymmetric partition) must not stall the heartbeat
-			// cadence for the healthy servers; ensureConn's cooldown
+			// cadence for the healthy servers; ensurePool's cooldown
 			// keeps the retries bounded.
 			if !have {
-				go func(addr string) { _, _ = c.ensureConn(addr) }(m.Addr)
+				go func(addr string) { _, _ = c.ensurePool(addr) }(m.Addr)
 			}
 		}
 	}
@@ -357,26 +356,26 @@ func (c *Client) refreshMembership() {
 // recorded stripe sets cannot stall every stat behind a dial timeout.
 const dialCooldown = 3 * time.Second
 
-// ensureConn returns the live connection for addr, dialing it on first
-// use — recorded stripe sets and the membership view may name servers
-// this client was never configured with (members that joined after the
-// client dialed in). Recently unreachable members fail fast.
-func (c *Client) ensureConn(addr string) (*serverConn, error) {
+// ensurePool returns the live connection pool for addr, building it on
+// first use — recorded stripe sets and the membership view may name
+// servers this client was never configured with (members that joined
+// after the client dialed in). Recently unreachable members fail fast.
+func (c *Client) ensurePool(addr string) (*transport.Pool, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("client: closed")
 	}
 	c.mu.Lock()
-	sc, ok := c.conns[addr]
+	p, ok := c.pools[addr]
 	if ok {
 		c.mu.Unlock()
-		return sc, nil
+		return p, nil
 	}
 	if t, bad := c.unreachable[addr]; bad && time.Since(t) < dialCooldown {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("client: %s recently unreachable", addr)
 	}
 	c.mu.Unlock()
-	sc, err := dialServer(addr, c.opts.LegacyGob)
+	p, err := c.newPool(addr)
 	if err != nil {
 		c.mu.Lock()
 		c.unreachable[addr] = time.Now()
@@ -385,55 +384,79 @@ func (c *Client) ensureConn(addr string) (*serverConn, error) {
 	}
 	c.mu.Lock()
 	delete(c.unreachable, addr)
-	if exist, ok := c.conns[addr]; ok {
+	if exist, ok := c.pools[addr]; ok {
 		c.mu.Unlock()
-		sc.conn.Close()
+		p.Close()
 		return exist, nil
 	}
 	if c.closed.Load() {
 		// Close ran while we dialed; registering now would leak the
-		// socket past teardown.
+		// sockets past teardown.
 		c.mu.Unlock()
-		sc.conn.Close()
+		p.Close()
 		return nil, fmt.Errorf("client: closed")
 	}
-	c.conns[addr] = sc
+	c.pools[addr] = p
 	c.mu.Unlock()
 	c.ring.Add(addr)
-	return sc, nil
+	return p, nil
+}
+
+// poolCall performs one control-path exchange on a pool: an already-open
+// connection is picked (control traffic never stalls behind a lazy
+// dial) and the request rides it under ctx.
+func (c *Client) poolCall(ctx context.Context, p *transport.Pool, req *transport.Request) (*transport.Response, error) {
+	mc, err := p.Pick()
+	if err != nil {
+		return nil, err
+	}
+	return mc.Call(ctx, req)
 }
 
 func (c *Client) heartbeatAll() {
 	c.mu.Lock()
-	conns := make([]*serverConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
+	pools := make([]*transport.Pool, 0, len(c.pools))
+	for _, p := range c.pools {
+		pools = append(pools, p)
 	}
 	c.mu.Unlock()
-	for _, sc := range conns {
-		if err := sc.conn.SendRequest(&transport.Request{
-			Type: transport.MsgHeartbeat,
-			Seq:  c.seq.Add(1),
-			Job:  c.job,
-		}); err != nil {
-			c.markFailed(sc.addr)
+	for _, p := range pools {
+		// Every open connection of the pool heartbeats: the server's job
+		// monitor only needs one, but each connection's liveness is only
+		// proven by traffic on that connection. The server is failed over
+		// when no connection could carry the heartbeat — one bad slot
+		// among healthy ones is the pool's problem (cooldown + fallback),
+		// not a server failure.
+		sent := 0
+		p.ForEach(func(mc *transport.MuxConn) {
+			if err := mc.Send(&transport.Request{
+				Type: transport.MsgHeartbeat,
+				Seq:  c.seq.Add(1),
+				Job:  c.job,
+			}); err == nil {
+				sent++
+			}
+		})
+		if sent == 0 {
+			c.markFailed(p.Addr())
 		}
 	}
 }
 
-// markFailed drops a server the client could not reach: its connection
-// closes and its ring segment reassigns to the survivors, mirroring the
-// fabric's failover. Subsequent placement follows the shrunken ring.
+// markFailed drops a server the client could not reach: its whole
+// connection pool closes and its ring segment reassigns to the
+// survivors, mirroring the fabric's failover. Subsequent placement
+// follows the shrunken ring.
 func (c *Client) markFailed(addr string) {
 	c.mu.Lock()
-	sc, ok := c.conns[addr]
+	p, ok := c.pools[addr]
 	if ok {
-		delete(c.conns, addr)
+		delete(c.pools, addr)
 	}
 	c.unreachable[addr] = time.Now()
 	c.mu.Unlock()
 	if ok {
-		sc.conn.Close()
+		p.Close()
 		c.ring.Remove(addr)
 	}
 }
@@ -473,18 +496,29 @@ func (c *Client) createSet(path string) []string {
 }
 
 // callAddr sends one request to one server — dialing it on first use —
-// failing the server over on a transport-level error.
-func (c *Client) callAddr(addr, path string, req *transport.Request) (*transport.Response, error) {
-	sc, err := c.ensureConn(addr)
+// failing the server over on a transport-level error. Context
+// cancellation is not a server failure: the exchange is abandoned (the
+// late response's frame still returns to the lease pool) and the typed
+// ErrCanceled surfaces instead.
+func (c *Client) callAddr(ctx context.Context, addr, path string, req *transport.Request) (*transport.Response, error) {
+	p, err := c.ensurePool(addr)
 	if err != nil {
+		return nil, err
+	}
+	mc, err := p.Pick()
+	if err != nil {
+		c.markFailed(addr)
 		return nil, err
 	}
 	req.Seq = c.seq.Add(1)
 	req.Job = c.job
 	req.Path = path
 	start := time.Now()
-	resp, err := sc.call(req)
+	resp, err := mc.Call(ctx, req)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, canceled(err)
+		}
 		c.markFailed(addr)
 		return nil, err
 	}
@@ -501,21 +535,27 @@ func (c *Client) callAddr(addr, path string, req *transport.Request) (*transport
 // call routes a request to the path's owner server, retrying on the
 // reassigned owner when the first choice has failed. Application errors
 // (ErrNotExist and friends) surface immediately; only transport-level
-// failures trigger re-routing.
-func (c *Client) call(path string, req *transport.Request) (*transport.Response, error) {
+// failures trigger re-routing, and cancellation stops the retries.
+func (c *Client) call(ctx context.Context, path string, req *transport.Request) (*transport.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		addr, ok := c.ring.Lookup(path)
 		if !ok {
 			return nil, fmt.Errorf("client: no servers left")
 		}
-		resp, err := c.callAddr(addr, path, req)
+		resp, err := c.callAddr(ctx, addr, path, req)
 		if err != nil {
+			if isCanceled(err) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
 		if resp.Err != "" {
-			return nil, resp.Error()
+			return nil, wireErr(resp.Error())
 		}
 		return resp, nil
 	}
@@ -525,8 +565,9 @@ func (c *Client) call(path string, req *transport.Request) (*transport.Response,
 // fanOut sends one request per address in parallel and collects the
 // responses in address order. A transport-level error on any server
 // fails that server over and reports the error; an application error in
-// any response is returned as-is.
-func (c *Client) fanOut(addrs []string, path string, mk func(i int) *transport.Request) ([]*transport.Response, error) {
+// any response is returned as-is (classified with the exported
+// sentinels).
+func (c *Client) fanOut(ctx context.Context, addrs []string, path string, mk func(i int) *transport.Request) ([]*transport.Response, error) {
 	resps := make([]*transport.Response, len(addrs))
 	errs := make([]error, len(addrs))
 	var wg sync.WaitGroup
@@ -538,7 +579,7 @@ func (c *Client) fanOut(addrs []string, path string, mk func(i int) *transport.R
 		wg.Add(1)
 		go func(i int, addr string, req *transport.Request) {
 			defer wg.Done()
-			resps[i], errs[i] = c.callAddr(addr, path, req)
+			resps[i], errs[i] = c.callAddr(ctx, addr, path, req)
 		}(i, addr, req)
 	}
 	wg.Wait()
@@ -549,26 +590,48 @@ func (c *Client) fanOut(addrs []string, path string, mk func(i int) *transport.R
 	}
 	for _, r := range resps {
 		if r != nil && r.Err != "" {
-			return resps, r.Error()
+			return resps, wireErr(r.Error())
 		}
 	}
 	return resps, nil
 }
 
 // Open opens an existing file (create=false) or creates it, returning a
-// file descriptor. Creation places the file on every server of its
-// stripe set — recording the stripe width in the file metadata — so
-// striped appends land locally and any client can later discover the
-// layout. Opening reads the width back from the metadata, so clients
-// with different striping configurations interoperate.
-func (c *Client) Open(path string, create bool) (int, error) {
+// *File handle. Creation places the file on every server of its stripe
+// set — recording the stripe width in the file metadata — so striped
+// appends land locally and any client can later discover the layout.
+// Opening reads the width back from the metadata, so clients with
+// different striping configurations interoperate.
+func (c *Client) Open(path string, create bool) (*File, error) {
+	return c.OpenContext(context.Background(), path, create)
+}
+
+// OpenContext is Open honoring ctx: cancellation during the create
+// fan-out or the layout stat returns ErrCanceled.
+func (c *Client) OpenContext(ctx context.Context, path string, create bool) (*File, error) {
+	fd, err := c.open(ctx, path, create)
+	if err != nil {
+		return nil, err
+	}
+	return &File{c: c, fd: fd, path: path}, nil
+}
+
+// OpenFd is the int-descriptor Open.
+//
+// Deprecated: use Open (or OpenContext), which returns a *File
+// implementing io.ReadWriteSeeker and io.Closer.
+func (c *Client) OpenFd(path string, create bool) (int, error) {
+	return c.open(context.Background(), path, create)
+}
+
+func (c *Client) open(ctx context.Context, path string, create bool) (int, error) {
 	if create {
 		set := c.createSet(path)
 		if len(set) == 0 {
 			return -1, fmt.Errorf("client: no servers left")
 		}
 		unit := c.stripeUnit()
-		if _, err := c.fanOut(set, path, func(int) *transport.Request {
+		if _, err := c.fanOut(ctx, set, path, func(int) *transport.Request {
 			return &transport.Request{
 				Type:       transport.MsgCreate,
 				Stripes:    len(set),
@@ -579,7 +642,7 @@ func (c *Client) Open(path string, create bool) (int, error) {
 			return -1, err
 		}
 	}
-	size, _, layout, err := c.statFull(path)
+	size, _, layout, err := c.statFull(ctx, path)
 	if err != nil {
 		return -1, err
 	}
@@ -628,10 +691,18 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return c.write(context.Background(), h, p)
+}
+
+// write is the striped append shared by the int-fd and *File APIs. The
+// seal-window retry budget is writeRetryTimeout, tightened to ctx's own
+// deadline when that is sooner; cancellation mid-retry returns
+// ErrCanceled with the durable prefix reported like any short write.
+func (c *Client) write(ctx context.Context, h *fileHandle, p []byte) (int, error) {
 	if h.damaged {
 		return 0, fmt.Errorf("client: %s: earlier striped write failed mid-stripe; reopen after repair", h.path)
 	}
-	err = c.writeOnce(h, p)
+	err := c.writeOnce(ctx, h, p)
 	if err == nil {
 		return len(p), nil
 	}
@@ -639,9 +710,12 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 		return 0, err
 	}
 	prev := h.size
-	deadline := time.Now().Add(writeRetryTimeout)
+	deadline := budgetDeadline(ctx, writeRetryTimeout)
 	for {
-		if rerr := c.refreshHandle(h); rerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, canceled(cerr)
+		}
+		if rerr := c.refreshHandle(ctx, h); rerr != nil {
 			return 0, fmt.Errorf("client: %s: layout changed and re-stat failed: %w", h.path, rerr)
 		}
 		landed := h.size - prev
@@ -665,7 +739,7 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 			h.off = h.size
 			return len(p), nil
 		}
-		err = c.writeOnce(h, p[landed:])
+		err = c.writeOnce(ctx, h, p[landed:])
 		if err == nil {
 			return len(p), nil
 		}
@@ -701,7 +775,7 @@ const writeRetryTimeout = 10 * time.Second
 // segment rides the wire as its own iovec, and each stripe's span goes
 // out either pipelined (a window of positional-append chunk RPCs, for
 // servers advertising CapAppendAt) or as one ordered append RPC.
-func (c *Client) writeOnce(h *fileHandle, p []byte) error {
+func (c *Client) writeOnce(ctx context.Context, h *fileHandle, p []byte) error {
 	set := h.set
 	if len(set) == 0 {
 		set = c.stripeSet(h.path, h.stripes)
@@ -736,11 +810,21 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = c.writeStripe(addr, h.path, spans[i],
+			errs[i] = c.writeStripe(ctx, addr, h.path, i, spans[i],
 				localLen(h.size, i, len(set), unit), h.layoutGen)
 		}(i, addr)
 	}
 	wg.Wait()
+	for _, e := range errs {
+		if e != nil && isCanceled(e) {
+			// Cancellation mid-fan-out leaves the stripe state unknown,
+			// and repairing under a dead ctx cannot work; poison the
+			// handle (reopen re-learns the durable size) and surface the
+			// typed error.
+			h.damaged = true
+			return e
+		}
+	}
 	// Transport-level (non-retryable) failures dominate the outcome so
 	// partial landings go through repair, mirroring fanOut's precedence.
 	var err error
@@ -768,7 +852,7 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 		// would re-append the landed chunks and silently corrupt the
 		// round-robin layout. Repair instead: top each stripe up to its
 		// exact target length, and poison the handle if that fails.
-		if rerr := c.repairWrite(h, set, spans, unit); rerr != nil {
+		if rerr := c.repairWrite(ctx, h, set, spans, unit); rerr != nil {
 			if retryableLayout(rerr) {
 				return rerr
 			}
@@ -782,41 +866,63 @@ func (c *Client) writeOnce(h *fileHandle, p []byte) error {
 }
 
 // writeChunkTarget is the payload size one pipelined append RPC aims
-// for (whole segments are never split); writeWindow bounds how many
-// such RPCs one stripe keeps in flight on its connection.
+// for (whole segments are never split); pipelineWindow is the in-flight
+// chunk budget each pool connection contributes — the pool's shared
+// write and read windows are each pipelineWindow × pool size, so a
+// size-1 pool budgets exactly what the old single connection did.
 const (
 	writeChunkTarget = 512 << 10
-	writeWindow      = 8
+	pipelineWindow   = 8
 )
 
-// writeStripe sends one server's span of a striped write. Servers that
-// have advertised CapAppendAt get the pipelined positional-append path:
-// the span goes out as a window of chunk RPCs that need no round trip
+// affinityKey maps a (path, stripe index) pair into the pool's slot
+// space: the same stripe of the same file always picks the same slot
+// (per-stripe send order rides one connection), while consecutive
+// stripes of one file land on consecutive slots (the stripes of a file
+// that shares servers spread over the pool's paths).
+func affinityKey(path string, stripe int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return h.Sum64() + uint64(stripe)
+}
+
+// writeStripe sends one server's span of a striped write over the
+// stripe's affinity connection in its pool. Servers that have
+// advertised CapAppendAt get the pipelined positional-append path: the
+// span goes out as a window of chunk RPCs that need no round trip
 // between them, and the explicit offsets keep landing order-independent
 // under the server's multiplexed worker pool. Anyone else (old servers,
-// or a connection whose first response has not yet been seen) gets the
-// whole span as one ordered append RPC. Transport-level errors fail the
+// or a pool whose first response has not yet been seen) gets the whole
+// span as one ordered append RPC. Transport-level errors fail the
 // server over, as callAddr would.
-func (c *Client) writeStripe(addr, path string, segs [][]byte, startOff int64, layoutGen uint64) error {
-	sc, err := c.ensureConn(addr)
+func (c *Client) writeStripe(ctx context.Context, addr, path string, stripeIdx int, segs [][]byte, startOff int64, layoutGen uint64) error {
+	pool, err := c.ensurePool(addr)
 	if err != nil {
+		return err
+	}
+	mc, err := pool.SlotFor(affinityKey(path, stripeIdx))
+	if err != nil {
+		c.markFailed(addr)
 		return err
 	}
 	var appErr, netErr error
 	start := time.Now()
 	total := spanLen(segs)
-	if sc.caps.Load()&transport.CapAppendAt != 0 {
-		appErr, netErr = c.writeStripePipelined(sc, path, segs, startOff, layoutGen)
+	if pool.Caps()&transport.CapAppendAt != 0 {
+		appErr, netErr = c.writeStripePipelined(ctx, pool, mc, path, segs, startOff, layoutGen)
 	} else {
-		resp, cerr := sc.call(&transport.Request{
+		resp, cerr := mc.Call(ctx, &transport.Request{
 			Type: transport.MsgWrite, Seq: c.seq.Add(1), Job: c.job, Path: path,
 			DataSegs: segs, LayoutGen: layoutGen,
 		})
 		if cerr != nil {
+			if isCtxErr(cerr) {
+				return canceled(cerr)
+			}
 			netErr = cerr
 		} else {
 			if resp.Err != "" {
-				appErr = resp.Error()
+				appErr = wireErr(resp.Error())
 			}
 			resp.Release()
 		}
@@ -832,16 +938,27 @@ func (c *Client) writeStripe(addr, path string, segs [][]byte, startOff int64, l
 }
 
 // writeStripePipelined issues a stripe's span as windowed positional
-// appends. Application errors (appErr) and transport failures (netErr)
-// are reported separately so the caller can fail the server over on the
-// latter only.
-func (c *Client) writeStripePipelined(sc *serverConn, path string, segs [][]byte, startOff int64, layoutGen uint64) (appErr, netErr error) {
+// appends on the stripe's affinity connection. The in-flight budget is
+// the pool's shared write window (not a per-call constant): tokens are
+// taken per chunk and returned per response, so concurrent stripes to
+// one server share pipelineWindow × size chunk RPCs between them.
+// Application errors (appErr) and transport failures (netErr) are
+// reported separately so the caller can fail the server over on the
+// latter only; cancellation abandons the in-flight chunks (their frames
+// still return to the lease pool) and surfaces as appErr.
+func (c *Client) writeStripePipelined(ctx context.Context, pool *transport.Pool, mc *transport.MuxConn, path string, segs [][]byte, startOff int64, layoutGen uint64) (appErr, netErr error) {
 	// Group whole segments into chunk RPCs of ~writeChunkTarget bytes.
 	// Groups are subslices of segs: still zero-copy.
-	var inflight []chan *transport.Response
+	type pending struct {
+		seq uint64
+		ch  chan *transport.Response
+	}
+	var inflight []pending
 	collect := func() {
-		resp, ok := <-inflight[0]
+		pd := inflight[0]
 		inflight = inflight[1:]
+		resp, ok := <-pd.ch
+		pool.ReleaseWrite()
 		if !ok {
 			if netErr == nil {
 				netErr = fmt.Errorf("client: connection lost")
@@ -849,36 +966,71 @@ func (c *Client) writeStripePipelined(sc *serverConn, path string, segs [][]byte
 			return
 		}
 		if resp.Err != "" && appErr == nil {
-			appErr = resp.Error()
+			appErr = wireErr(resp.Error())
 		}
 		resp.Release()
 	}
+	// acquire takes one pool write token, draining our own in-flight
+	// chunks while the window is full — progress never depends on a
+	// token this call itself is sitting on.
+	acquire := func() bool {
+		for {
+			if pool.TryAcquireWrite() {
+				return true
+			}
+			if len(inflight) == 0 {
+				// Every token is held by other calls, which release
+				// independently of us; block (honoring ctx).
+				if err := pool.AcquireWrite(ctx); err != nil {
+					appErr = canceled(err)
+					return false
+				}
+				return true
+			}
+			collect()
+			if appErr != nil || netErr != nil {
+				return false
+			}
+		}
+	}
 	off := startOff
 	for lo := 0; lo < len(segs) && appErr == nil && netErr == nil; {
+		if err := ctx.Err(); err != nil {
+			appErr = canceled(err)
+			break
+		}
 		hi := lo + 1
 		glen := int64(len(segs[lo]))
 		for hi < len(segs) && glen+int64(len(segs[hi])) <= writeChunkTarget {
 			glen += int64(len(segs[hi]))
 			hi++
 		}
-		for len(inflight) >= writeWindow && appErr == nil && netErr == nil {
-			collect()
-		}
-		if appErr != nil || netErr != nil {
+		if !acquire() {
 			break
 		}
-		ch, err := sc.start(&transport.Request{
-			Type: transport.MsgWrite, Seq: c.seq.Add(1), Job: c.job, Path: path,
+		seq := c.seq.Add(1)
+		ch, err := mc.Start(&transport.Request{
+			Type: transport.MsgWrite, Seq: seq, Job: c.job, Path: path,
 			DataSegs: segs[lo:hi], AppendAt: true, AppendOff: off,
 			LayoutGen: layoutGen,
 		})
 		if err != nil {
+			pool.ReleaseWrite()
 			netErr = err
 			break
 		}
-		inflight = append(inflight, ch)
+		inflight = append(inflight, pending{seq: seq, ch: ch})
 		off += glen
 		lo = hi
+	}
+	if isCanceled(appErr) {
+		// Return promptly on cancellation: abandon the waiters instead
+		// of draining them (the reader releases the late frames).
+		for _, pd := range inflight {
+			mc.Forget(pd.seq, pd.ch)
+			pool.ReleaseWrite()
+		}
+		inflight = nil
 	}
 	for len(inflight) > 0 {
 		collect()
@@ -922,8 +1074,8 @@ func spanTail(segs [][]byte, need int64) [][]byte {
 // refreshHandle re-learns a file's layout and size after a
 // stale-layout answer: the cutover of a stripe migration rewrote the
 // metadata, and the handle's cached stripe set predates it.
-func (c *Client) refreshHandle(h *fileHandle) error {
-	size, isDir, lay, err := c.statFull(h.path)
+func (c *Client) refreshHandle(ctx context.Context, h *fileHandle) error {
+	size, isDir, lay, err := c.statFull(ctx, h.path)
 	if err != nil {
 		return err
 	}
@@ -960,18 +1112,18 @@ func localLen(total int64, i, nStripes int, unit int64) int64 {
 // means every chunk of this write is correctly placed and the surplus
 // is not this write's corruption to report; a mismatch is refused as
 // before.
-func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit int64) error {
+func (c *Client) repairWrite(ctx context.Context, h *fileHandle, set []string, spans [][][]byte, unit int64) error {
 	target := h.size
 	for _, segs := range spans {
 		target += spanLen(segs)
 	}
 	for i, addr := range set {
-		resp, err := c.callAddr(addr, h.path, &transport.Request{Type: transport.MsgStat})
+		resp, err := c.callAddr(ctx, addr, h.path, &transport.Request{Type: transport.MsgStat})
 		if err != nil {
 			return fmt.Errorf("stripe %s unreachable: %w", addr, err)
 		}
 		if resp.Err != "" {
-			return fmt.Errorf("stripe %s: %s", addr, resp.Err)
+			return fmt.Errorf("stripe %s: %w", addr, wireErr(resp.Error()))
 		}
 		need := localLen(target, i, len(set), unit) - resp.Size
 		resp.Release()
@@ -979,7 +1131,7 @@ func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit
 			return fmt.Errorf("stripe %s has unexpected length %d", addr, resp.Size)
 		}
 		if need < 0 {
-			if err := c.verifySpan(h, addr, i, len(set), unit, spans[i]); err != nil {
+			if err := c.verifySpan(ctx, h, addr, i, len(set), unit, spans[i]); err != nil {
 				return fmt.Errorf("stripe %s over-landed to %d: %w", addr, resp.Size, err)
 			}
 			continue
@@ -987,7 +1139,7 @@ func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit
 		if need == 0 {
 			continue
 		}
-		wresp, err := c.callAddr(addr, h.path, &transport.Request{
+		wresp, err := c.callAddr(ctx, addr, h.path, &transport.Request{
 			Type: transport.MsgWrite, DataSegs: spanTail(spans[i], need),
 			LayoutGen: h.layoutGen,
 		})
@@ -995,7 +1147,7 @@ func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit
 			return fmt.Errorf("stripe %s unreachable: %w", addr, err)
 		}
 		if wresp.Err != "" {
-			return fmt.Errorf("stripe %s: %s", addr, wresp.Err)
+			return fmt.Errorf("stripe %s: %w", addr, wireErr(wresp.Error()))
 		}
 		wresp.Release()
 	}
@@ -1005,20 +1157,20 @@ func (c *Client) repairWrite(h *fileHandle, set []string, spans [][][]byte, unit
 // verifySpan reads back the local span this write addressed on one
 // stripe server and compares it to the bytes sent — the over-landed
 // repair check.
-func (c *Client) verifySpan(h *fileHandle, addr string, i, nStripes int, unit int64, want [][]byte) error {
+func (c *Client) verifySpan(ctx context.Context, h *fileHandle, addr string, i, nStripes int, unit int64, want [][]byte) error {
 	total := spanLen(want)
 	if total == 0 {
 		return nil
 	}
 	start := localLen(h.size, i, nStripes, unit)
-	resp, err := c.callAddr(addr, h.path, &transport.Request{
+	resp, err := c.callAddr(ctx, addr, h.path, &transport.Request{
 		Type: transport.MsgRead, Offset: start, Size: total,
 	})
 	if err != nil {
 		return err
 	}
 	if resp.Err != "" {
-		return resp.Error()
+		return wireErr(resp.Error())
 	}
 	defer resp.Release()
 	got := resp.Data[:resp.N]
@@ -1041,8 +1193,15 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := c.readOnce(h, p)
-	for deadline := time.Now().Add(statRetryTimeout); err != nil && retryableLayout(err) && !time.Now().After(deadline); {
+	return c.read(context.Background(), h, p)
+}
+
+// read is the striped read shared by the int-fd and *File APIs; the
+// stale-layout retry budget is statRetryTimeout, tightened to ctx's own
+// deadline when that is sooner.
+func (c *Client) read(ctx context.Context, h *fileHandle, p []byte) (int, error) {
+	n, err := c.readOnce(ctx, h, p)
+	for deadline := budgetDeadline(ctx, statRetryTimeout); err != nil && retryableLayout(err) && !time.Now().After(deadline); {
 		// A cutover can land between the re-stat and the retry (the
 		// refresh may still see the old layout while the old holders
 		// serve sealed reads); a bounded loop rides the window out. The
@@ -1050,16 +1209,19 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 		// turning the window into a stat storm against the servers the
 		// policy is throttling.
 		time.Sleep(10 * time.Millisecond)
-		if rerr := c.refreshHandle(h); rerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, canceled(cerr)
+		}
+		if rerr := c.refreshHandle(ctx, h); rerr != nil {
 			return 0, fmt.Errorf("client: %s: layout changed and re-stat failed: %w", h.path, rerr)
 		}
-		n, err = c.readOnce(h, p)
+		n, err = c.readOnce(ctx, h, p)
 	}
 	return n, err
 }
 
 // readOnce performs one read attempt at the handle's current layout.
-func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
+func (c *Client) readOnce(ctx context.Context, h *fileHandle, p []byte) (int, error) {
 	set := h.set
 	if len(set) == 0 {
 		set = c.stripeSet(h.path, h.stripes)
@@ -1068,7 +1230,7 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 		return 0, fmt.Errorf("client: no servers left")
 	}
 	if len(set) == 1 {
-		resp, err := c.callAddr(set[0], h.path, &transport.Request{
+		resp, err := c.callAddr(ctx, set[0], h.path, &transport.Request{
 			Type: transport.MsgRead, Offset: h.off, Size: int64(len(p)),
 			LayoutGen: h.layoutGen,
 		})
@@ -1076,7 +1238,7 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 			return 0, err
 		}
 		if resp.Err != "" {
-			return 0, resp.Error()
+			return 0, wireErr(resp.Error())
 		}
 		copy(p, resp.Data)
 		h.off += resp.N
@@ -1134,7 +1296,7 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = c.readStripe(addr, h.path, i, len(set), unit,
+			errs[i] = c.readStripe(ctx, addr, h.path, i, len(set), unit,
 				lo[i], hi[i], h.layoutGen, p, g0, g1)
 		}(i, addr)
 	}
@@ -1153,27 +1315,29 @@ func (c *Client) readOnce(h *fileHandle, p []byte) (int, error) {
 	return int(want), nil
 }
 
-// readChunk is the payload size one pipelined stripe-read RPC asks
-// for; readWindow bounds how many such RPCs one stripe keeps in flight.
-const (
-	readChunk  = 512 << 10
-	readWindow = 8
-)
+// readChunk is the payload size one pipelined stripe-read RPC asks for;
+// the in-flight budget is the pool's shared read window.
+const readChunk = 512 << 10
 
 // readStripe fetches one server's locally-contiguous byte range
 // [lo,hi) of a striped read as a window of chunk RPCs — readahead that
 // needs no round trip between chunks (reads at explicit offsets are
 // idempotent, so unlike writes this pipelining needs no server
 // capability) — and scatters each arriving chunk's units straight into
-// p. Transport-level errors fail the server over.
-func (c *Client) readStripe(addr, path string, idx, nStripes int, unit int64, lo, hi int64, layoutGen uint64, p []byte, g0, g1 int64) error {
-	sc, err := c.ensureConn(addr)
+// p. Chunks spread over every pool connection (PickSpread): explicit
+// offsets make order irrelevant, so the pool's paths carry the socket
+// reads and frame decodes in parallel. Transport-level errors fail the
+// server over.
+func (c *Client) readStripe(ctx context.Context, addr, path string, idx, nStripes int, unit int64, lo, hi int64, layoutGen uint64, p []byte, g0, g1 int64) error {
+	pool, err := c.ensurePool(addr)
 	if err != nil {
 		return err
 	}
 	type chunk struct {
 		off int64
 		n   int64
+		seq uint64
+		mc  *transport.MuxConn
 		ch  chan *transport.Response
 	}
 	var inflight []chunk
@@ -1183,6 +1347,7 @@ func (c *Client) readStripe(addr, path string, idx, nStripes int, unit int64, lo
 		ck := inflight[0]
 		inflight = inflight[1:]
 		resp, ok := <-ck.ch
+		pool.ReleaseRead()
 		if !ok {
 			if netErr == nil {
 				netErr = fmt.Errorf("client: connection lost")
@@ -1192,7 +1357,7 @@ func (c *Client) readStripe(addr, path string, idx, nStripes int, unit int64, lo
 		defer resp.Release()
 		if resp.Err != "" {
 			if appErr == nil {
-				appErr = resp.Error()
+				appErr = wireErr(resp.Error())
 			}
 			return
 		}
@@ -1202,27 +1367,61 @@ func (c *Client) readStripe(addr, path string, idx, nStripes int, unit int64, lo
 		}
 		scatterLocal(p, g0, g1, idx, nStripes, unit, ck.off, resp.Data[:ck.n])
 	}
+	acquire := func() bool {
+		for {
+			if pool.TryAcquireRead() {
+				return true
+			}
+			if len(inflight) == 0 {
+				if err := pool.AcquireRead(ctx); err != nil {
+					appErr = canceled(err)
+					return false
+				}
+				return true
+			}
+			collect()
+			if appErr != nil || netErr != nil {
+				return false
+			}
+		}
+	}
 	for off := lo; off < hi && appErr == nil && netErr == nil; {
+		if err := ctx.Err(); err != nil {
+			appErr = canceled(err)
+			break
+		}
 		n := hi - off
 		if n > readChunk {
 			n = readChunk
 		}
-		for len(inflight) >= readWindow && appErr == nil && netErr == nil {
-			collect()
-		}
-		if appErr != nil || netErr != nil {
+		if !acquire() {
 			break
 		}
-		ch, err := sc.start(&transport.Request{
-			Type: transport.MsgRead, Seq: c.seq.Add(1), Job: c.job, Path: path,
-			Offset: off, Size: n, LayoutGen: layoutGen,
-		})
+		mc, err := pool.PickSpread()
 		if err != nil {
+			pool.ReleaseRead()
 			netErr = err
 			break
 		}
-		inflight = append(inflight, chunk{off: off, n: n, ch: ch})
+		seq := c.seq.Add(1)
+		ch, err := mc.Start(&transport.Request{
+			Type: transport.MsgRead, Seq: seq, Job: c.job, Path: path,
+			Offset: off, Size: n, LayoutGen: layoutGen,
+		})
+		if err != nil {
+			pool.ReleaseRead()
+			netErr = err
+			break
+		}
+		inflight = append(inflight, chunk{off: off, n: n, seq: seq, mc: mc, ch: ch})
 		off += n
+	}
+	if isCanceled(appErr) {
+		for _, ck := range inflight {
+			ck.mc.Forget(ck.seq, ck.ch)
+			pool.ReleaseRead()
+		}
+		inflight = nil
 	}
 	for len(inflight) > 0 {
 		collect()
@@ -1280,6 +1479,10 @@ func (c *Client) Lseek(fd int, offset int64, whence int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return c.lseek(context.Background(), h, offset, whence)
+}
+
+func (c *Client) lseek(ctx context.Context, h *fileHandle, offset int64, whence int) (int64, error) {
 	var next int64
 	switch whence {
 	case 0:
@@ -1287,7 +1490,7 @@ func (c *Client) Lseek(fd int, offset int64, whence int) (int64, error) {
 	case 1:
 		next = h.off + offset
 	case 2:
-		size, _, err := c.Stat(h.path)
+		size, _, _, err := c.statFull(ctx, h.path)
 		if err != nil {
 			return 0, err
 		}
@@ -1316,7 +1519,13 @@ func (c *Client) CloseFd(fd int) error {
 // Stat returns size and directory flag. A striped file's size is the
 // sum of its stripes.
 func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
-	size, isDir, _, err = c.statFull(path)
+	return c.StatContext(context.Background(), path)
+}
+
+// StatContext is Stat honoring ctx: the internal retry budgets tighten
+// to ctx's deadline, and cancellation returns ErrCanceled.
+func (c *Client) StatContext(ctx context.Context, path string) (size int64, isDir bool, err error) {
+	size, isDir, _, err = c.statFull(ctx, path)
 	return size, isDir, err
 }
 
@@ -1324,7 +1533,7 @@ func (c *Client) Stat(path string) (size int64, isDir bool, err error) {
 // stripe width — the operator's view of where a file's bytes live,
 // which rebalancing rewrites as the fabric grows.
 func (c *Client) Layout(path string) (set []string, stripes int, err error) {
-	_, _, lay, err := c.statFull(path)
+	_, _, lay, err := c.statFull(context.Background(), path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -1355,12 +1564,15 @@ type layoutInfo struct {
 // target whose commit has not landed yet — re-reads the layout (a
 // rebalance cutover lands within a couple of round trips; the first
 // retry refreshes membership so freshly joined owners are dialed).
-func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, err error) {
-	staleDeadline := time.Now().Add(statRetryTimeout)
-	goneDeadline := time.Now().Add(statGoneRetryTimeout)
+func (c *Client) statFull(ctx context.Context, path string) (size int64, isDir bool, lay layoutInfo, err error) {
+	staleDeadline := budgetDeadline(ctx, statRetryTimeout)
+	goneDeadline := budgetDeadline(ctx, statGoneRetryTimeout)
 	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, false, lay, canceled(cerr)
+		}
 		var transient bool
-		size, isDir, lay, transient, err = c.statOnce(path, false)
+		size, isDir, lay, transient, err = c.statOnce(ctx, path, false)
 		if err == nil || !transient {
 			return size, isDir, lay, err
 		}
@@ -1376,7 +1588,7 @@ func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, 
 			// contributes nothing, and the stat must not fail just
 			// because the recorded layout names it, or Unlink could
 			// never clean such files up.
-			size, isDir, lay, _, err = c.statOnce(path, true)
+			size, isDir, lay, _, err = c.statOnce(ctx, path, true)
 			return size, isDir, lay, err
 		}
 		if attempt == 0 {
@@ -1393,7 +1605,8 @@ func (c *Client) statFull(path string) (size int64, isDir bool, lay layoutInfo, 
 // statGoneRetryTimeout is the shorter budget for a stripe member
 // answering not-exist: a mid-cutover target commits within a couple of
 // round trips, while a genuinely lost stripe never will — after it,
-// the stat degrades to the tolerant partial sum.
+// the stat degrades to the tolerant partial sum. Both are defaults: a
+// ctx deadline sooner than the budget tightens it (budgetDeadline).
 const (
 	statRetryTimeout     = 2 * time.Second
 	statGoneRetryTimeout = 500 * time.Millisecond
@@ -1404,10 +1617,13 @@ const (
 // stale-layout answer anywhere, or a not-exist from the stripe
 // fan-out (the layout was just readable, so the member is a
 // mid-cutover target, not a deleted file).
-func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir bool, lay layoutInfo, transient bool, err error) {
-	resp, err := c.call(path, &transport.Request{Type: transport.MsgStat})
+func (c *Client) statOnce(ctx context.Context, path string, tolerateMissing bool) (size int64, isDir bool, lay layoutInfo, transient bool, err error) {
+	resp, err := c.call(ctx, path, &transport.Request{Type: transport.MsgStat})
 	if err != nil {
-		resp = c.statAny(path)
+		if isCanceled(err) {
+			return 0, false, lay, false, err
+		}
+		resp = c.statAny(ctx, path)
 		if resp == nil {
 			return 0, false, lay, transport.IsStaleLayout(err), err
 		}
@@ -1436,7 +1652,7 @@ func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir 
 	// freshly joined server) are connected on demand.
 	var live []string
 	for _, addr := range lay.set {
-		if _, err := c.ensureConn(addr); err == nil {
+		if _, err := c.ensurePool(addr); err == nil {
 			live = append(live, addr)
 		}
 	}
@@ -1445,7 +1661,7 @@ func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir 
 		// members that do hold the entry, skipping the rest — the
 		// pre-rebalance partial-loss semantics.
 		for _, addr := range live {
-			r, err := c.callAddr(addr, path, &transport.Request{Type: transport.MsgStat})
+			r, err := c.callAddr(ctx, addr, path, &transport.Request{Type: transport.MsgStat})
 			if err != nil || r.Err != "" {
 				continue
 			}
@@ -1453,7 +1669,7 @@ func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir 
 		}
 		return size, false, lay, false, nil
 	}
-	resps, err := c.fanOut(live, path, func(int) *transport.Request {
+	resps, err := c.fanOut(ctx, live, path, func(int) *transport.Request {
 		return &transport.Request{Type: transport.MsgStat, LayoutGen: lay.gen}
 	})
 	if err != nil {
@@ -1482,15 +1698,9 @@ func (c *Client) statOnce(path string, tolerateMissing bool) (size int64, isDir 
 // statAny broadcasts a stat to every connected server and returns the
 // first hit — the fallback path for entries the drifted ring owner no
 // longer holds.
-func (c *Client) statAny(path string) *transport.Response {
-	c.mu.Lock()
-	conns := make([]*serverConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
-	}
-	c.mu.Unlock()
-	for _, sc := range conns {
-		resp, err := sc.call(&transport.Request{
+func (c *Client) statAny(ctx context.Context, path string) *transport.Response {
+	for _, p := range c.sortedPools() {
+		resp, err := c.poolCall(ctx, p, &transport.Request{
 			Type: transport.MsgStat, Seq: c.seq.Add(1), Job: c.job, Path: path,
 		})
 		if err == nil && resp.Err == "" {
@@ -1500,34 +1710,37 @@ func (c *Client) statAny(path string) *transport.Response {
 	return nil
 }
 
-// sortedConns snapshots the live connections in address order — the
-// iteration every broadcast-style method (Mkdir/Readdir/Flush,
-// SetPolicy, ShareReports) shares.
-func (c *Client) sortedConns() []*serverConn {
+// sortedPools snapshots the live pools in address order — the iteration
+// every broadcast-style method (Mkdir/Readdir/Flush, SetPolicy,
+// ShareReports) shares.
+func (c *Client) sortedPools() []*transport.Pool {
 	c.mu.Lock()
-	conns := make([]*serverConn, 0, len(c.conns))
-	for _, sc := range c.conns {
-		conns = append(conns, sc)
+	pools := make([]*transport.Pool, 0, len(c.pools))
+	for _, p := range c.pools {
+		pools = append(pools, p)
 	}
 	c.mu.Unlock()
-	sort.Slice(conns, func(i, j int) bool { return conns[i].addr < conns[j].addr })
-	return conns
+	sort.Slice(pools, func(i, j int) bool { return pools[i].Addr() < pools[j].Addr() })
+	return pools
 }
 
 // broadcast sends the request to every server and collects responses.
 // Directory metadata is replicated on all servers so that any server can
 // validate parents locally, matching §4.3's "directories and files are
 // stored as files" with directory content spread across servers.
-func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transport.Response, error) {
+func (c *Client) broadcast(ctx context.Context, path string, mk func() *transport.Request) ([]*transport.Response, error) {
 	var out []*transport.Response
-	for _, sc := range c.sortedConns() {
+	for _, p := range c.sortedPools() {
 		req := mk()
 		req.Seq = c.seq.Add(1)
 		req.Job = c.job
 		req.Path = path
-		resp, err := sc.call(req)
+		resp, err := c.poolCall(ctx, p, req)
 		if err != nil {
-			c.markFailed(sc.addr)
+			if isCtxErr(err) {
+				return out, canceled(err)
+			}
+			c.markFailed(p.Addr())
 			return out, err
 		}
 		out = append(out, resp)
@@ -1540,7 +1753,12 @@ func (c *Client) broadcast(path string, mk func() *transport.Request) ([]*transp
 // barrier (an application calls it after writing a checkpoint it cannot
 // afford to lose). Servers without a backing store reply immediately.
 func (c *Client) Flush() error {
-	resps, err := c.broadcast("/", func() *transport.Request {
+	return c.FlushContext(context.Background())
+}
+
+// FlushContext is Flush honoring ctx.
+func (c *Client) FlushContext(ctx context.Context) error {
+	resps, err := c.broadcast(ctx, "/", func() *transport.Request {
 		return &transport.Request{Type: transport.MsgFlush}
 	})
 	if err != nil {
@@ -1548,7 +1766,7 @@ func (c *Client) Flush() error {
 	}
 	for _, r := range resps {
 		if r.Err != "" {
-			return r.Error()
+			return wireErr(r.Error())
 		}
 	}
 	return nil
@@ -1562,20 +1780,20 @@ func (c *Client) Flush() error {
 // request. Returns the canonical policy string and the new epoch.
 func (c *Client) SetPolicy(policyStr string) (string, uint64, error) {
 	var lastErr error = fmt.Errorf("client: no servers left")
-	for _, sc := range c.sortedConns() {
-		resp, err := sc.call(&transport.Request{
+	for _, p := range c.sortedPools() {
+		resp, err := c.poolCall(context.Background(), p, &transport.Request{
 			Type: transport.MsgPolicySet, Seq: c.seq.Add(1), Job: c.job,
 			PolicyStr: policyStr,
 		})
 		if err != nil {
-			c.markFailed(sc.addr)
+			c.markFailed(p.Addr())
 			lastErr = err
 			continue
 		}
 		if resp.Err != "" {
 			// An application error (an unparseable policy string) is the
 			// same on every member; do not retry it around the ring.
-			return "", 0, resp.Error()
+			return "", 0, wireErr(resp.Error())
 		}
 		return resp.PolicyStr, resp.PolicyEpoch, nil
 	}
@@ -1599,19 +1817,19 @@ type ShareReport struct {
 // for the cluster-wide measured share).
 func (c *Client) ShareReports() ([]ShareReport, error) {
 	var out []ShareReport
-	for _, sc := range c.sortedConns() {
-		resp, err := sc.call(&transport.Request{
+	for _, p := range c.sortedPools() {
+		resp, err := c.poolCall(context.Background(), p, &transport.Request{
 			Type: transport.MsgShareReport, Seq: c.seq.Add(1), Job: c.job,
 		})
 		if err != nil {
-			c.markFailed(sc.addr)
+			c.markFailed(p.Addr())
 			return out, err
 		}
 		if resp.Err != "" {
-			return out, resp.Error()
+			return out, wireErr(resp.Error())
 		}
 		out = append(out, ShareReport{
-			Addr: sc.addr, Policy: resp.PolicyStr,
+			Addr: p.Addr(), Policy: resp.PolicyStr,
 			PolicyEpoch: resp.PolicyEpoch, Shares: resp.Shares,
 		})
 	}
@@ -1620,7 +1838,12 @@ func (c *Client) ShareReports() ([]ShareReport, error) {
 
 // Mkdir creates a directory (replicated on every server).
 func (c *Client) Mkdir(path string) error {
-	resps, err := c.broadcast(path, func() *transport.Request {
+	return c.MkdirContext(context.Background(), path)
+}
+
+// MkdirContext is Mkdir honoring ctx.
+func (c *Client) MkdirContext(ctx context.Context, path string) error {
+	resps, err := c.broadcast(ctx, path, func() *transport.Request {
 		return &transport.Request{Type: transport.MsgMkdir}
 	})
 	if err != nil {
@@ -1628,7 +1851,7 @@ func (c *Client) Mkdir(path string) error {
 	}
 	for _, r := range resps {
 		if r.Err != "" {
-			return r.Error()
+			return wireErr(r.Error())
 		}
 	}
 	return nil
@@ -1644,7 +1867,12 @@ func (c *Client) Mkdir(path string) error {
 // and the listing fails when every server answers not-exist (a
 // genuinely missing directory).
 func (c *Client) Readdir(path string) ([]string, error) {
-	resps, err := c.broadcast(path, func() *transport.Request {
+	return c.ReaddirContext(context.Background(), path)
+}
+
+// ReaddirContext is Readdir honoring ctx.
+func (c *Client) ReaddirContext(ctx context.Context, path string) ([]string, error) {
+	resps, err := c.broadcast(ctx, path, func() *transport.Request {
 		return &transport.Request{Type: transport.MsgReaddir}
 	})
 	if err != nil {
@@ -1657,10 +1885,10 @@ func (c *Client) Readdir(path string) ([]string, error) {
 	for _, r := range resps {
 		if r.Err != "" {
 			if !transport.IsNotExist(r.Error()) {
-				return nil, r.Error()
+				return nil, wireErr(r.Error())
 			}
 			if firstErr == nil {
-				firstErr = r.Error()
+				firstErr = wireErr(r.Error())
 			}
 			continue
 		}
@@ -1684,26 +1912,31 @@ func (c *Client) Readdir(path string) ([]string, error) {
 // them, and refusing to unlink a partially-lost file would leave its
 // stale layout squatting on the name forever.
 func (c *Client) Unlink(path string) error {
-	_, isDir, lay, err := c.statFull(path)
+	return c.UnlinkContext(context.Background(), path)
+}
+
+// UnlinkContext is Unlink honoring ctx.
+func (c *Client) UnlinkContext(ctx context.Context, path string) error {
+	_, isDir, lay, err := c.statFull(ctx, path)
 	if err != nil {
 		return err
 	}
 	if !isDir {
 		var live []string
 		for _, addr := range lay.set {
-			if _, err := c.ensureConn(addr); err == nil {
+			if _, err := c.ensurePool(addr); err == nil {
 				live = append(live, addr)
 			}
 		}
 		if len(live) == 0 {
 			return fmt.Errorf("client: no live stripe servers hold %s", path)
 		}
-		_, err := c.fanOut(live, path, func(int) *transport.Request {
+		_, err := c.fanOut(ctx, live, path, func(int) *transport.Request {
 			return &transport.Request{Type: transport.MsgUnlink}
 		})
 		return err
 	}
-	resps, err := c.broadcast(path, func() *transport.Request {
+	resps, err := c.broadcast(ctx, path, func() *transport.Request {
 		return &transport.Request{Type: transport.MsgUnlink}
 	})
 	if err != nil {
@@ -1711,7 +1944,7 @@ func (c *Client) Unlink(path string) error {
 	}
 	for _, r := range resps {
 		if r.Err != "" {
-			return r.Error()
+			return wireErr(r.Error())
 		}
 	}
 	return nil

@@ -70,7 +70,7 @@ func TestPerServerRouting(t *testing.T) {
 	// land on exactly one server and read back from it.
 	owners := map[string]bool{}
 	for _, name := range []string{"/d/a", "/d/b", "/d/c", "/d/e", "/d/f", "/d/g"} {
-		fd, err := c.Open(name, true)
+		fd, err := c.OpenFd(name, true)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -105,7 +105,7 @@ func TestClientErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Open("/nope", false); err == nil {
+	if _, err := c.OpenFd("/nope", false); err == nil {
 		t.Fatal("opening a missing file should fail")
 	}
 	if _, err := c.Read(99, make([]byte, 8)); err == nil {
@@ -120,7 +120,7 @@ func TestClientErrorPaths(t *testing.T) {
 	if err := c.Unlink("/nope"); err == nil {
 		t.Fatal("unlink of a missing file should fail")
 	}
-	fd, err := c.Open("/f", true)
+	fd, err := c.OpenFd("/f", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestStripedRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fd, err := c.Open("/striped", true)
+	fd, err := c.OpenFd("/striped", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestStripedRoundTrip(t *testing.T) {
 		t.Fatalf("past-EOF read: n=%d err=%v", n, err)
 	}
 	// Open the same file fresh: the size comes from summed stripe stats.
-	fd2, err := c.Open("/striped", false)
+	fd2, err := c.OpenFd("/striped", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestClientFailover(t *testing.T) {
 		var lastErr error
 		ok := false
 		for attempt := 0; attempt < 5 && !ok; attempt++ {
-			fd, err := c.Open(name, true)
+			fd, err := c.OpenFd(name, true)
 			if err != nil {
 				lastErr = err
 				continue
@@ -268,7 +268,7 @@ func TestStripeWidthInterop(t *testing.T) {
 	}
 	defer w.Close()
 	want := bytes.Repeat([]byte("striped-interop/"), 4096) // 64 KiB
-	fd, err := w.Open("/interop", true)
+	fd, err := w.OpenFd("/interop", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestStripeWidthInterop(t *testing.T) {
 	if size, _, err := r.Stat("/interop"); err != nil || size != int64(len(want)) {
 		t.Fatalf("interop stat = %d err=%v, want %d", size, err, len(want))
 	}
-	rfd, err := r.Open("/interop", false)
+	rfd, err := r.OpenFd("/interop", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestLseekNegative(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fd, err := c.Open("/seek", true)
+	fd, err := c.OpenFd("/seek", true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// File is a handle to an open ThemisIO file. It implements
+// io.ReadWriteSeeker and io.Closer over the client's striped data
+// plane, and each method has a context-honoring variant for callers
+// that need deadlines or cancellation. A File is not safe for
+// concurrent use (it carries one offset, like a POSIX descriptor); open
+// the path again for a second independent handle.
+type File struct {
+	c    *Client
+	fd   int
+	path string
+}
+
+// Path returns the path the handle was opened on.
+func (f *File) Path() string { return f.path }
+
+// Fd returns the underlying integer descriptor — interoperability with
+// the deprecated int-fd API during migration.
+func (f *File) Fd() int { return f.fd }
+
+// Read reads up to len(p) bytes from the handle's offset, returning
+// io.EOF at end of file (the io.Reader contract; the deprecated int-fd
+// Read returned 0, nil instead).
+func (f *File) Read(p []byte) (int, error) {
+	return f.ReadContext(context.Background(), p)
+}
+
+// ReadContext is Read honoring ctx: cancellation mid-read abandons the
+// in-flight chunk RPCs and returns ErrCanceled.
+func (f *File) ReadContext(ctx context.Context, p []byte) (int, error) {
+	h, err := f.c.handle(f.fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.c.read(ctx, h, p)
+	if err == nil && n == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+// Write appends len(p) bytes to the file through the striped data
+// plane. On a short write the returned count is the durable prefix, so
+// a POSIX-style retry of the remainder is correct.
+func (f *File) Write(p []byte) (int, error) {
+	return f.WriteContext(context.Background(), p)
+}
+
+// WriteContext is Write honoring ctx. The seal-window retry budget
+// tightens to ctx's deadline; cancellation returns ErrCanceled.
+func (f *File) WriteContext(ctx context.Context, p []byte) (int, error) {
+	h, err := f.c.handle(f.fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.c.write(ctx, h, p)
+}
+
+// Seek repositions the handle (io.Seeker whence values). Seeking
+// relative to the end stats the file.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	return f.SeekContext(context.Background(), offset, whence)
+}
+
+// SeekContext is Seek honoring ctx (only SeekEnd performs I/O).
+func (f *File) SeekContext(ctx context.Context, offset int64, whence int) (int64, error) {
+	h, err := f.c.handle(f.fd)
+	if err != nil {
+		return 0, err
+	}
+	if whence < io.SeekStart || whence > io.SeekEnd {
+		return 0, fmt.Errorf("client: bad whence %d", whence)
+	}
+	return f.c.lseek(ctx, h, offset, whence)
+}
+
+// Close releases the handle. The client connection stays up; Close on
+// the Client tears that down.
+func (f *File) Close() error { return f.c.CloseFd(f.fd) }

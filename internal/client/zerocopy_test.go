@@ -36,8 +36,9 @@ func TestZeroCopyHammer(t *testing.T) {
 			defer wg.Done()
 			errs <- func() error {
 				c, err := DialOpts(testJob(fmt.Sprintf("zc%d", w)), addrs, Options{
-					Stripes:    4,
-					StripeUnit: 64 << 10,
+					Stripes:        4,
+					StripeUnit:     64 << 10,
+					ConnsPerServer: 4,
 				})
 				if err != nil {
 					return err
@@ -48,7 +49,7 @@ func TestZeroCopyHammer(t *testing.T) {
 					// Racing mkdirs: only one creator wins; that's fine.
 					_ = err
 				}
-				fd, err := c.Open(path, true)
+				fd, err := c.OpenFd(path, true)
 				if err != nil {
 					return err
 				}

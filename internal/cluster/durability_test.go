@@ -97,7 +97,7 @@ func TestFabricDurability(t *testing.T) {
 		p := fmt.Sprintf("/data/f%d.bin", i)
 		data := bytes.Repeat([]byte{byte(i + 1)}, 100_000+i*1_000)
 		files[p] = data
-		fd, err := c.Open(p, true)
+		fd, err := c.OpenFd(p, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +113,7 @@ func TestFabricDurability(t *testing.T) {
 	for i := range striped {
 		striped[i] = byte(i * 131)
 	}
-	fd, err := cs.Open("/data/striped.bin", true)
+	fd, err := cs.OpenFd("/data/striped.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestFabricDurability(t *testing.T) {
 	}
 	defer cr.Close()
 	readBack := func(p string, want []byte) bool {
-		fd, err := cr.Open(p, false)
+		fd, err := cr.OpenFd(p, false)
 		if err != nil {
 			return false
 		}

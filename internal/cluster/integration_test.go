@@ -124,7 +124,7 @@ func TestFabricLive(t *testing.T) {
 
 	// Striped round trip across all four servers.
 	c, err := client.DialOpts(jobInfo("stripe"), addrs, client.Options{
-		Stripes: 4, StripeUnit: 4096,
+		Stripes: 4, StripeUnit: 4096, ConnsPerServer: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestFabricLive(t *testing.T) {
 	for i, s := range servers {
 		served[i] = s.Served()
 	}
-	fd, err := c.Open("/data/striped.bin", true)
+	fd, err := c.OpenFd("/data/striped.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestFabricLive(t *testing.T) {
 	// may consume the error that teaches it the server is gone).
 	var fd2 int
 	waitFor(t, 5*time.Second, "post-failover write", func() bool {
-		fd2, err = c.Open(fmt.Sprintf("/data/after-%d.bin", time.Now().UnixNano()), true)
+		fd2, err = c.OpenFd(fmt.Sprintf("/data/after-%d.bin", time.Now().UnixNano()), true)
 		if err != nil {
 			return false
 		}

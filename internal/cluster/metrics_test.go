@@ -192,7 +192,7 @@ func TestFabricMetricsLive(t *testing.T) {
 		go func(j int, c *client.Client) {
 			defer wg.Done()
 			defer c.Close()
-			fd, err := c.Open(fmt.Sprintf("/flood/j%d.bin", j), true)
+			fd, err := c.OpenFd(fmt.Sprintf("/flood/j%d.bin", j), true)
 			if err != nil {
 				return
 			}
@@ -209,7 +209,7 @@ func TestFabricMetricsLive(t *testing.T) {
 					// Keep each file bounded so the shared RAM shards
 					// never fill mid-flood.
 					c.Unlink(fmt.Sprintf("/flood/j%d.bin", j))
-					fd, err = c.Open(fmt.Sprintf("/flood/j%d.bin", j), true)
+					fd, err = c.OpenFd(fmt.Sprintf("/flood/j%d.bin", j), true)
 					if err != nil {
 						return
 					}
@@ -229,6 +229,9 @@ func TestFabricMetricsLive(t *testing.T) {
 		"themis_server_request_latency_seconds",
 		"themis_transport_frames_total",
 		"themis_transport_bytes_total",
+		"themis_transport_pool_conns_open",
+		"themis_transport_pool_picks_total",
+		"themis_transport_pool_inflight",
 		"themis_backing_dirty_bytes",
 		"themis_backing_staged_bytes_total",
 		"themis_rebalance_epoch",

@@ -89,7 +89,7 @@ func swapLoad(t testing.TB, c *client.Client, user string, stop chan struct{}, e
 	var wg sync.WaitGroup
 	for i := 0; i < psWriters; i++ {
 		path := fmt.Sprintf("/swap/%s-%d.bin", user, i)
-		fd, err := c.Open(path, true)
+		fd, err := c.OpenFd(path, true)
 		if err != nil {
 			t.Fatalf("open %s: %v", path, err)
 		}
@@ -116,7 +116,7 @@ func swapLoad(t testing.TB, c *client.Client, user string, stop chan struct{}, e
 						errs.Add(1)
 					}
 					var err error
-					if fd, err = c.Open(path, true); err != nil {
+					if fd, err = c.OpenFd(path, true); err != nil {
 						errs.Add(1)
 						return
 					}

@@ -107,7 +107,7 @@ func TestFabricRebalance(t *testing.T) {
 			data[j] ^= byte(j * 13)
 		}
 		files[p] = data
-		fd, err := w.Open(p, true)
+		fd, err := w.OpenFd(p, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func TestFabricRebalance(t *testing.T) {
 			t.Fatalf("write %s: n=%d err=%v", p, n, err)
 		}
 	}
-	ws, err := client.DialOpts(jobInfo("striper"), addrs, client.Options{Stripes: 4, StripeUnit: 4096})
+	ws, err := client.DialOpts(jobInfo("striper"), addrs, client.Options{Stripes: 4, StripeUnit: 4096, ConnsPerServer: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFabricRebalance(t *testing.T) {
 			data[j] = byte(j*31 + i)
 		}
 		files[p] = data
-		fd, err := ws.Open(p, true)
+		fd, err := ws.OpenFd(p, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func TestFabricRebalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer held.Close()
-	heldFd, err := held.Open("/data/striped0.bin", false)
+	heldFd, err := held.OpenFd("/data/striped0.bin", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestFabricRebalance(t *testing.T) {
 			for i := 0; !stop.Load(); i++ {
 				p := paths[(i+g)%len(paths)]
 				want := files[p]
-				fd, err := reader.Open(p, false)
+				fd, err := reader.OpenFd(p, false)
 				if err != nil {
 					readerErr.Store(fmt.Errorf("open %s: %w", p, err))
 					return
@@ -221,7 +221,7 @@ func TestFabricRebalance(t *testing.T) {
 	}
 	defer fresh.Close()
 	readBack := func(c *client.Client, p string, want []byte) error {
-		fd, err := c.Open(p, false)
+		fd, err := c.OpenFd(p, false)
 		if err != nil {
 			return err
 		}

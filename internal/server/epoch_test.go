@@ -64,7 +64,7 @@ func TestCompileCountScalesWithJobSetChanges(t *testing.T) {
 	}
 	defer c.Close()
 
-	fd, err := c.Open("/epoch.bin", true)
+	fd, err := c.OpenFd("/epoch.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net"
+	"strconv"
 	"time"
 
 	"themisio/internal/cluster"
@@ -122,6 +123,31 @@ func newServerMetrics(reg *obsv.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("themis_transport_lease_misses_total",
 		"Payload-pool leases that had to allocate a fresh buffer (process-wide).",
 		func() float64 { _, mi := transport.LeaseStats(); return float64(mi) })
+	reg.GaugeFunc("themis_transport_pool_conns_open",
+		"Connections open across every live per-server connection pool (process-wide).",
+		func() float64 { o, _, _ := transport.ConnPoolStats(); return float64(o) })
+	reg.GaugeFunc("themis_transport_pool_conns_dialing",
+		"Pool slots with a dial in progress (process-wide).",
+		func() float64 { _, d, _ := transport.ConnPoolStats(); return float64(d) })
+	reg.GaugeFunc("themis_transport_pool_conns_cooldown",
+		"Pool slots sitting out a dial-failure cooldown (process-wide).",
+		func() float64 { _, _, cd := transport.ConnPoolStats(); return float64(cd) })
+	reg.CounterVecFunc("themis_transport_pool_picks_total",
+		"Connection picks by pool slot index; the last slot aggregates wider pools (process-wide).",
+		[]string{"slot"},
+		func(emit obsv.Emit) {
+			transport.PoolPicks(func(slot int, picks int64) {
+				emit([]string{strconv.Itoa(slot)}, float64(picks))
+			})
+		})
+	reg.GaugeVecFunc("themis_transport_pool_inflight",
+		"In-flight window tokens held against each pooled server.",
+		[]string{"server"},
+		func(emit obsv.Emit) {
+			transport.PoolsSnapshot(func(addr string, _, inflight int64) {
+				emit([]string{addr}, float64(inflight))
+			})
+		})
 
 	// --- backing / stage-out ----------------------------------------------
 	reg.GaugeFunc("themis_backing_dirty_bytes",

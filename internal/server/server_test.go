@@ -72,7 +72,7 @@ func TestLiveRoundTripSingleServer(t *testing.T) {
 	if err := c.Mkdir("/data"); err != nil {
 		t.Fatal(err)
 	}
-	fd, err := c.Open("/data/hello.bin", true)
+	fd, err := c.OpenFd("/data/hello.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestLiveMultiServerPlacementAndSync(t *testing.T) {
 	contents := map[string][]byte{}
 	for i := 0; i < 24; i++ {
 		p := fmt.Sprintf("/spread/file-%02d", i)
-		fd, err := c.Open(p, true)
+		fd, err := c.OpenFd(p, true)
 		if err != nil {
 			t.Fatalf("create %s: %v", p, err)
 		}
@@ -144,7 +144,7 @@ func TestLiveMultiServerPlacementAndSync(t *testing.T) {
 	}
 	// Data round-trips regardless of which server owns the file.
 	for p, want := range contents {
-		fd, err := c.Open(p, false)
+		fd, err := c.OpenFd(p, false)
 		if err != nil {
 			t.Fatalf("open %s: %v", p, err)
 		}
@@ -187,7 +187,7 @@ func TestLiveSizeFairService(t *testing.T) {
 			go func(w int) {
 				defer wg.Done()
 				p := fmt.Sprintf("/%s-%d", job.JobID, w)
-				fd, err := c.Open(p, true)
+				fd, err := c.OpenFd(p, true)
 				if err != nil {
 					return
 				}
@@ -247,7 +247,7 @@ func TestLiveBadFd(t *testing.T) {
 	if err := c.CloseFd(99); err == nil {
 		t.Fatal("close on bad fd should fail")
 	}
-	if _, err := c.Open("/missing", false); err == nil {
+	if _, err := c.OpenFd("/missing", false); err == nil {
 		t.Fatal("open of missing file should fail")
 	}
 	if _, err := c.Lseek(42, 0, 0); err == nil {

@@ -49,7 +49,7 @@ func TestStageOutRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := bytes.Repeat([]byte{0xAB, 0xCD, 0xEF, 0x01}, 200_000) // 800 KB
-	fd, err := c.Open("/run1/ckpt.bin", true)
+	fd, err := c.OpenFd("/run1/ckpt.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestStageOutRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	fd2, err := c2.Open("/run1/ckpt.bin", false)
+	fd2, err := c2.OpenFd("/run1/ckpt.bin", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestStageOutUnlinkRecreate(t *testing.T) {
 		t.Fatal(err)
 	}
 	old := bytes.Repeat([]byte("OLD!"), 100_000)
-	fd, err := c.Open("/gen.bin", true)
+	fd, err := c.OpenFd("/gen.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestStageOutUnlinkRecreate(t *testing.T) {
 	}
 	// Recreate immediately — the unlink's tombstone has not drained yet.
 	want := bytes.Repeat([]byte("new"), 50_000) // shorter than old, too
-	fd2, err := c.Open("/gen.bin", true)
+	fd2, err := c.OpenFd("/gen.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestStageOutUnlinkRecreate(t *testing.T) {
 	if err != nil || size != int64(len(want)) {
 		t.Fatalf("restart stat: size=%d err=%v, want %d (old tombstone ate the new file, or stale tail)", size, err, len(want))
 	}
-	fd3, err := c2.Open("/gen.bin", false)
+	fd3, err := c2.OpenFd("/gen.bin", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestBackgroundDrainNoFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fd, err := c.Open("/lazy.bin", true)
+	fd, err := c.OpenFd("/lazy.bin", true)
 	if err != nil {
 		t.Fatal(err)
 	}

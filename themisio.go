@@ -51,6 +51,35 @@ type (
 	// ClusterProc is one simulated client process (a closed-loop request
 	// stream against the simulated cluster).
 	ClusterProc = bb.Proc
+	// File is an open handle on a burst-buffer file: an
+	// io.ReadWriteSeeker + io.Closer returned by Client.Open.
+	File = client.File
+)
+
+// Exported error sentinels: every error a Client call returns wraps the
+// matching sentinel, so callers branch with errors.Is regardless of the
+// retry/repair prefixes the message accumulated on the way up.
+var (
+	// ErrNotExist reports an operation on a path no server knows.
+	ErrNotExist = client.ErrNotExist
+	// ErrStaleLayout reports a request that raced a stripe migration;
+	// the client retries these itself, so seeing one means the retry
+	// budget ran out.
+	ErrStaleLayout = client.ErrStaleLayout
+	// ErrTornAppend reports a positional append that partially overlaps
+	// data already landed — the torn-write guard.
+	ErrTornAppend = client.ErrTornAppend
+	// ErrParkedFull reports a server whose positional-append reorder
+	// buffer is full.
+	ErrParkedFull = client.ErrParkedFull
+	// ErrCanceled reports a call abandoned because its context was
+	// canceled or its deadline passed; the stdlib cause
+	// (context.Canceled or context.DeadlineExceeded) is also reachable
+	// through errors.Is.
+	ErrCanceled = client.ErrCanceled
+	// ErrInvalidOptions reports malformed ClientOptions refused by
+	// DialStriped before any socket was dialed.
+	ErrInvalidOptions = client.ErrInvalidOptions
 )
 
 // Predefined policies in the paper's notation.
@@ -111,4 +140,18 @@ const (
 	DirBW    = bb.DefaultDirBW
 	DeviceBW = bb.DefaultDeviceBW
 	Lambda   = bb.DefaultLambda
+)
+
+// ClientOptions sentinels: zero asks for the default; the Auto values
+// ask the client to size the knob itself.
+const (
+	// AutoStripeUnit sizes each created file's stripe unit from the
+	// measured bandwidth-delay product.
+	AutoStripeUnit = client.AutoStripeUnit
+	// DefaultConnsPerServer is the pool size used when
+	// ClientOptions.ConnsPerServer is zero.
+	DefaultConnsPerServer = client.DefaultConnsPerServer
+	// AutoConnsPerServer scales each per-server connection pool with
+	// the stripe width.
+	AutoConnsPerServer = client.AutoConnsPerServer
 )

@@ -56,7 +56,7 @@ func TestLiveFacadeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fd, err := c.Open("/facade.txt", true)
+	fd, err := c.OpenFd("/facade.txt", true)
 	if err != nil {
 		t.Fatal(err)
 	}
